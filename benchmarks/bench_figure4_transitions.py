@@ -1,0 +1,32 @@
+"""Figure 4 — changes of QUIC ECN support over time (filtered flows).
+
+Paper: Jun-22 Mirroring(d27) 253k flows mostly into No Mirroring (v1)
+(106k) and Unavailable (87k); the Apr-23 Mirroring(v1) 940k is gained
+mostly from No Mirroring (v1) domains switching mirroring on (838.14k).
+"""
+
+import repro
+from repro.analysis.render import render_transitions
+from repro.util.weeks import Week
+
+SNAPSHOTS = (Week(2022, 22), Week(2023, 5), Week(2023, 15))
+
+
+def bench_figure4(benchmark, campaign):
+    data = benchmark(
+        repro.figure4, campaign, SNAPSHOTS, min_flow=2, require_ecn_touch=True
+    )
+
+    june = data.state_counts[0]
+    assert june.get("Mirroring (d27)", 0) > june.get("Mirroring (v1)", 0)
+    first_flows, second_flows = data.flows
+    assert first_flows.get(("Mirroring (d27)", "No Mirroring (v1)"), 0) > 0
+    assert first_flows.get(("Mirroring (d27)", "Unavailable"), 0) > 0
+    biggest = max(second_flows.items(), key=lambda item: item[1])
+    assert biggest[0] == ("No Mirroring (v1)", "Mirroring (v1)")
+
+    print()
+    print("=== Figure 4 (reproduced, filtered) ===")
+    print(render_transitions(data))
+    print("paper: d27 253k -> {No Mirroring(v1) 106k, Unavailable 87k};")
+    print("       No Mirroring(v1) -> Mirroring(v1) 838.14k")

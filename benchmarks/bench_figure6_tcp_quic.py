@@ -1,0 +1,35 @@
+"""Figure 6 — TCP to QUIC relation for visible ECN support (CE probing).
+
+Paper (week 20/2023, CE codepoints): 42M domains negotiate + mirror +
+use ECN via TCP, 14M do not negotiate; via QUIC only ~1.3M mirror CE.
+Domains without QUIC mirroring split mostly into TCP-full-ECN (network
+fine, stack opted out) and TCP-non-negotiating groups.
+"""
+
+import repro
+from repro.analysis.render import render_relation
+
+
+def bench_figure6(benchmark, tcp_quic_run):
+    data = benchmark(repro.figure6, tcp_quic_run)
+
+    tcp_total = sum(data.left_counts.values())
+    tcp_mirror = sum(
+        c for g, c in data.left_counts.items() if g.startswith("CE Mirroring")
+    )
+    assert tcp_mirror / tcp_total > 0.5  # paper: ~70 %
+    assert (
+        max(data.left_counts, key=data.left_counts.get)
+        == "CE Mirroring, Use, Negotiation"
+    )
+    quic_reachable = sum(c for g, c in data.right_counts.items() if g != "No QUIC")
+    quic_mirror = sum(
+        c for g, c in data.right_counts.items() if g.startswith("CE Mirroring")
+    )
+    assert quic_mirror / quic_reachable < 0.10
+
+    print()
+    print("=== Figure 6 (reproduced) ===")
+    print(render_relation(data, "TCP", "QUIC"))
+    print("paper: TCP mirror+use+neg 42M, no-negotiation 14M;")
+    print("       QUIC CE-mirroring 1.3M of 16.4M")

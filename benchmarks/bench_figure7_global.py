@@ -1,0 +1,31 @@
+"""Figure 7 — global view: domains passing ECN validation per vantage.
+
+Paper: every AWS/Vultr vantage point sees 0.2-0.4 % of mapped domains
+pass validation (IPv4), with IPv6 lower; Google's India experiments show
+all-CE and undercount spikes; wix domains fail from US-West; Vultr
+Frankfurt sees almost no re-marking while AWS Frankfurt sees >40k.
+"""
+
+import repro
+from repro.analysis.figures import vantage_error_categories
+from repro.analysis.render import render_figure7
+
+
+def bench_figure7(benchmark, world, distributed_v4, distributed_v6):
+    points = benchmark(repro.figure7, world, distributed_v4, distributed_v6)
+
+    for point in points:
+        assert point.pct_capable_v4 is not None
+        assert 0.05 < point.pct_capable_v4 < 0.6  # paper: 0.2-0.4 %
+    cats = vantage_error_categories(distributed_v4)
+    assert cats["aws-mumbai"].get("Undercount", 0) > 3 * cats["main-aachen"].get(
+        "Undercount", 1
+    )
+    assert cats["vultr-frankfurt"].get("Re-Marking ECT(1)", 0) < cats[
+        "aws-frankfurt"
+    ].get("Re-Marking ECT(1)", 1)
+
+    print()
+    print("=== Figure 7 (reproduced) ===")
+    print(render_figure7(points))
+    print("paper: 0.2-0.4 % everywhere; India spikes; US-West wix failures")

@@ -1,0 +1,27 @@
+"""Figure 8 — the unfiltered variant of Figure 4 (appendix).
+
+Paper: adds the non-ECN masses (No Mirroring (v1) 14M -> 17M) and the
+residual draft-29/-32/-34 deployments.
+"""
+
+from repro.analysis.figures import figure8
+from repro.analysis.render import render_transitions
+from repro.util.weeks import Week
+
+SNAPSHOTS = (Week(2022, 22), Week(2023, 5), Week(2023, 15))
+
+
+def bench_figure8(benchmark, campaign):
+    data = benchmark(figure8, campaign, SNAPSHOTS)
+
+    june = data.state_counts[0]
+    april = data.state_counts[2]
+    assert june.get("No Mirroring (v1)", 0) > 10 * june.get("Mirroring (d27)", 1)
+    assert any("d29" in state or "d34" in state for state in june)
+    assert april.get("Mirroring (v1)", 0) > june.get("Mirroring (v1)", 0)
+
+    print()
+    print("=== Figure 8 (reproduced, unfiltered) ===")
+    print(render_transitions(data))
+    print("paper: No Mirroring (v1) 14M (Jun-22) -> 16M (Apr-23);")
+    print("       minor draft-29/-34 fleets visible throughout")

@@ -1,0 +1,38 @@
+"""Extension — L4S vs ECT(0)->ECT(1) re-marking (paper §9.3).
+
+The paper warns that the re-marking it traced to AS 1299 makes L4S
+routers mistake classic traffic for L4S: the aggressive marking ramp
+then collides with classic congestion control ("serious performance
+penalties").  This bench runs the dual-queue experiment and pins the
+throughput collapse.
+"""
+
+from repro.l4s.experiment import run_l4s_experiment
+
+
+def bench_l4s_remarking(benchmark):
+    def sweep():
+        return {
+            "healthy": run_l4s_experiment(remark_classic=False),
+            "remarked": run_l4s_experiment(remark_classic=True),
+        }
+
+    results = benchmark(sweep)
+    healthy = results["healthy"]
+    remarked = results["remarked"]
+
+    print()
+    print("=== L4S x re-marking (reproduced; 200 rounds, shared link) ===")
+    print(f"{'scenario':10s} {'classic pkts':>13s} {'scalable pkts':>14s} "
+          f"{'classic share':>14s} {'marked rounds':>14s}")
+    for name, run in results.items():
+        print(
+            f"{name:10s} {run.classic_delivered:13d} {run.scalable_delivered:14d} "
+            f"{100 * run.classic_share:13.1f}% {run.classic_marked_rounds:14d}"
+        )
+
+    assert remarked.classic_delivered < 0.7 * healthy.classic_delivered
+    assert remarked.classic_share < healthy.classic_share
+    assert remarked.classic_marked_rounds > healthy.classic_marked_rounds
+    print("paper §9.3: re-marked classic traffic is punished by the L4S ramp;")
+    print("traditional TCP could suffer serious performance penalties")

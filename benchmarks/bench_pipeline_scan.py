@@ -1,0 +1,30 @@
+"""Pipeline throughput: the cost of a full weekly scan + tracebox.
+
+Not a paper table — this pins the simulator's own performance so
+regressions in the packet path show up in CI.
+"""
+
+import repro
+from repro.web.spec import WorldConfig
+
+
+def bench_full_weekly_scan(benchmark):
+    world = repro.build_world(WorldConfig(scale=8_000))
+
+    def scan():
+        return repro.run_weekly_scan(
+            world, world.config.reference_week, run_tracebox=True
+        )
+
+    run = benchmark.pedantic(scan, rounds=3, iterations=1)
+    assert run.observations
+    quic = sum(1 for o in run.observations if o.quic_available)
+    print(f"\nscanned {len(run.observations)} domains, {quic} QUIC, "
+          f"{len(run.traces)} traces")
+
+
+def bench_world_build(benchmark):
+    world = benchmark.pedantic(
+        lambda: repro.build_world(WorldConfig(scale=8_000)), rounds=3, iterations=1
+    )
+    assert world.sites

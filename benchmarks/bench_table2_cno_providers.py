@@ -1,0 +1,28 @@
+"""Table 2 — top providers of com/net/org QUIC domains and their ECN.
+
+Paper ranks: Cloudflare (8.08M, no ECN), Google (5.65M, mirroring #1 via
+the wix proxy, use 0), Hostinger, Fastly (no ECN), OVH, A2 Hosting,
+SingleHop (mirroring #2 / use #1), Server Central (no mirroring, use #4).
+"""
+
+from repro.analysis.render import render_provider_table
+from repro.analysis.tables import table2
+
+
+def bench_table2(benchmark, main_run):
+    rows = benchmark(table2, main_run)
+    by_org = {row.org: row for row in rows}
+
+    assert by_org["Cloudflare"].total_rank == 1
+    assert by_org["Google"].total_rank == 2
+    assert by_org["Cloudflare"].mirroring == 0
+    assert by_org["Google"].mirroring_rank == 1
+    assert by_org["Google"].use == 0
+    assert by_org["SingleHop"].use_rank <= 2
+    assert by_org["Server Central"].mirroring == 0
+    assert by_org["Server Central"].use > 0
+
+    print()
+    print("=== Table 2 (reproduced) ===")
+    print(render_provider_table(rows, top=9))
+    print("paper top-3 by mirroring: Google 145.93k, SingleHop 114.42k, Hostinger 111.23k")

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Global vantage-point study (paper §8 / Figure 7).
+
+Deduplicates QUIC hosts by IP at the main vantage point, forwards one
+viable domain per IP to 16 cloud instances (AWS + Vultr), rescales the
+results by the domain-to-IP mapping and reports the share of domains
+passing ECN validation per location — plus the geo anomalies: wix.com's
+US-West infrastructure without QUIC, Google's India experiments, and
+the re-marking differences between Frankfurt instances.
+
+Run:  python examples/global_vantage_study.py
+"""
+
+import repro
+from repro.analysis.figures import vantage_error_categories
+from repro.analysis.render import render_figure7
+from repro.web.spec import WorldConfig
+
+
+def main() -> None:
+    world = repro.build_world(WorldConfig(scale=4_000))
+    print("main-vantage scan + per-IP dedup + 16 cloud vantage points ...")
+    dist_v4 = repro.run_distributed(world, ip_version=4)
+    dist_v6 = repro.run_distributed(world, ip_version=6)
+
+    print()
+    print("== Figure 7: domains passing ECN validation per vantage ==")
+    print(render_figure7(repro.figure7(world, dist_v4, dist_v6)))
+
+    print()
+    print("== Error-category anomalies (mapped domains) ==")
+    cats = vantage_error_categories(dist_v4)
+    header = f"{'vantage':20s} {'remark':>8s} {'underc.':>8s} {'all-CE':>7s} {'unavail':>8s}"
+    print(header)
+    for vantage_id in sorted(cats):
+        c = cats[vantage_id]
+        print(
+            f"{vantage_id:20s} {c.get('Re-Marking ECT(1)', 0):8d} "
+            f"{c.get('Undercount', 0):8d} {c.get('All CE', 0):7d} "
+            f"{c.get('Unavailable', 0):8d}"
+        )
+    print()
+    print("paper: Vultr-FRA sees <500 re-marked domains vs AWS-FRA >40k;")
+    print("       India shows Google's broader ECN test (all-CE + undercount);")
+    print("       Honolulu/San Francisco lose ~5M wix domains to non-QUIC infra.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Longitudinal study: the rise, fall and rise of QUIC ECN mirroring.
+
+Reproduces Figures 3 and 4: monthly scans from June 2022 to April 2023
+show LiteSpeed's draft-27 fleets (which mirrored ECN) upgrading to v1
+builds without ECN, then lsquic 4.0 (March 2023) re-enabling mirroring
+at scale — alongside Google's proxy experiments.
+
+Run:  python examples/longitudinal_study.py
+"""
+
+import repro
+from repro.analysis.render import render_figure3, render_transitions
+from repro.util.weeks import Week
+from repro.web.spec import WorldConfig
+
+SNAPSHOTS = (Week(2022, 22), Week(2022, 35), Week(2022, 48), Week(2023, 5), Week(2023, 15))
+
+
+def main() -> None:
+    world = repro.build_world(WorldConfig(scale=4_000))
+    print(f"running {len(SNAPSHOTS)} monthly-ish scans ...")
+    campaign = repro.run_campaign(world, weeks=list(SNAPSHOTS))
+
+    print()
+    print("== Figure 3: mirroring domains by webserver product ==")
+    points = repro.figure3(campaign)
+    print(render_figure3(points))
+
+    # A terminal bar chart of the mirroring dip and jump.
+    print()
+    peak = max(p.total_mirroring for p in points) or 1
+    for point in points:
+        bar = "#" * round(40 * point.total_mirroring / peak)
+        share = 100 * point.total_mirroring / max(1, point.total_quic_domains)
+        print(f"{point.week.month_label()}  {bar:<40s} {share:.2f} % of QUIC domains")
+    print("paper: 2.20 % (Jun-22) -> 0.77 % (Feb-23) -> 5.61 % (Mar-23)")
+
+    print()
+    print("== Figure 4: who changed state (filtered flows) ==")
+    data = repro.figure4(
+        campaign,
+        (SNAPSHOTS[0], SNAPSHOTS[3], SNAPSHOTS[4]),
+        min_flow=2,
+        require_ecn_touch=True,
+    )
+    print(render_transitions(data))
+
+
+if __name__ == "__main__":
+    main()

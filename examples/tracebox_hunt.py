@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Tracebox hunt: localise the routers that mangle ECN codepoints.
+
+Reproduces the paper's §4.2/§6.1/§7.3 methodology on three famous cases:
+
+* Server Central — mirrored ECN until December 2022, then a route change
+  moved it behind an Arelion router that clears the ECN bits.
+* A2 Hosting — re-marking ECT(0)->ECT(1) on the Arelion/Cogent boundary
+  (ambiguous attribution).
+* A load-balanced fleet where the transport flow sees re-marking but the
+  probe flow rides an ECMP sibling that clears instead.
+
+Run:  python examples/tracebox_hunt.py
+"""
+
+import repro
+from repro.core.codepoints import ECN
+from repro.scanner.quic_scan import scan_site_quic
+from repro.tracebox.classify import classify_trace
+from repro.tracebox.probe import trace_site
+from repro.util.weeks import Week
+from repro.web.spec import WorldConfig
+
+
+def show_trace(world, site, week, title):
+    print(f"-- {title} (target {site.ip}, week {week}) --")
+    result = trace_site(world, site, week)
+    for hop in result.hops:
+        if hop.responded:
+            org = world.asorg.org_for(hop.router_asn)
+            print(
+                f"  ttl={hop.ttl:2d}  {hop.router_address:<15s} "
+                f"AS{hop.router_asn:<6d} {org:<26s} quote: {hop.quote_ecn.short_name()}"
+            )
+        else:
+            print(f"  ttl={hop.ttl:2d}  *  (timeout)")
+    summary = classify_trace(result)
+    culprit = summary.culprit_asn
+    if culprit is not None:
+        attribution = f"AS{culprit} ({world.asorg.org_for(culprit)})"
+    elif summary.changes:
+        a, b = summary.culprit_candidates
+        attribution = f"ambiguous: AS{a} or AS{b}"
+    else:
+        attribution = "n/a"
+    print(f"  => impairment: {summary.impairment.value}; culprit: {attribution}")
+    print()
+    return summary
+
+
+def main() -> None:
+    world = repro.build_world(WorldConfig(scale=4_000))
+    week = world.config.reference_week
+
+    def site_for(provider, group):
+        return next(
+            s for s in world.sites
+            if s.provider.name == provider and s.group.key == group
+        )
+
+    print("== Server Central: route change introduces clearing ==")
+    sc = site_for("Server Central", "use")
+    show_trace(world, sc, Week(2022, 30), "before the December 2022 route change")
+    show_trace(world, sc, week, "after the route change (via Arelion)")
+
+    print("== A2 Hosting: re-marking on an AS boundary ==")
+    show_trace(world, site_for("A2 Hosting", "remark"), week, "ECT(0) probe")
+
+    print("== ECMP divergence: transport sees re-marking, probe sees clearing ==")
+    lb_site = site_for("SmallHost-11", "remark-lbzero")
+    scan = scan_site_quic(world, lb_site, week)
+    print(f"  transport-layer scan: validation={scan.validation_outcome.value}, "
+          f"mirrored={scan.mirrored_counts}")
+    show_trace(world, lb_site, week, "probe flow (different ECMP member)")
+
+
+if __name__ == "__main__":
+    main()

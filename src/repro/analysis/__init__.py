@@ -1,0 +1,40 @@
+"""Analysis: per-connection classification and every table/figure builder."""
+
+from repro.analysis.classify import ValidationClass, validation_class
+from repro.analysis.tables import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    parking_summary,
+)
+from repro.analysis.figures import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.analysis.render import render_table
+
+__all__ = [
+    "ValidationClass",
+    "validation_class",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "parking_summary",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "render_table",
+]

@@ -1,0 +1,75 @@
+"""Provider (AS organization) aggregation and ranking helpers."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.scanner.results import DomainObservation
+
+
+@dataclass(frozen=True)
+class OrgCounts:
+    """Per-organization domain counts with derived ranks filled in later."""
+
+    org: str
+    total: int
+    mirroring: int
+    use: int
+
+
+def count_by_org(
+    observations: Iterable[DomainObservation],
+    *,
+    predicate: Callable[[DomainObservation], bool] | None = None,
+) -> Counter:
+    """Count observations per org, optionally filtered."""
+    counter: Counter = Counter()
+    for obs in observations:
+        if predicate is None or predicate(obs):
+            counter[obs.org] += 1
+    return counter
+
+
+def org_ecn_counts(observations: Iterable[DomainObservation]) -> list[OrgCounts]:
+    """Total/mirroring/use counts per org over QUIC-capable observations."""
+    totals: Counter = Counter()
+    mirroring: Counter = Counter()
+    use: Counter = Counter()
+    for obs in observations:
+        if not obs.quic_available:
+            continue
+        totals[obs.org] += 1
+        if obs.mirroring:
+            mirroring[obs.org] += 1
+        if obs.uses_ecn:
+            use[obs.org] += 1
+    return [
+        OrgCounts(org=org, total=totals[org], mirroring=mirroring[org], use=use[org])
+        for org in totals
+    ]
+
+
+def rank_map(values: dict[str, int]) -> dict[str, int]:
+    """1-based dense ranks, ties broken by name for determinism."""
+    ordered = sorted(values.items(), key=lambda item: (-item[1], item[0]))
+    ranks: dict[str, int] = {}
+    for position, (org, _count) in enumerate(ordered, start=1):
+        ranks[org] = position
+    return ranks
+
+
+def distinct_ips(
+    observations: Iterable[DomainObservation],
+    *,
+    predicate: Callable[[DomainObservation], bool] | None = None,
+) -> set[str]:
+    """The set of server IPs behind the (filtered) observations."""
+    ips: set[str] = set()
+    for obs in observations:
+        if obs.ip is None:
+            continue
+        if predicate is None or predicate(obs):
+            ips.add(obs.ip)
+    return ips

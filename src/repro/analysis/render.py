@@ -1,0 +1,134 @@
+"""ASCII rendering of tables and figure data (for benches and examples)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.figures import Figure3Point, Figure7Point, RelationData, TransitionData
+from repro.analysis.tables import ClearingTable, ProviderRow, Table1Row
+from repro.util.fmt import format_count
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple aligned ASCII table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    return render_table(
+        ["Scope", "Unit", "Total", "Resolved", "QUIC", "Mirroring", "Use"],
+        [
+            (
+                row.scope,
+                row.unit,
+                format_count(row.total) if row.total else "",
+                format_count(row.resolved),
+                format_count(row.quic),
+                f"{row.mirroring_pct:.1f} %",
+                f"{row.use_pct:.1f} %",
+            )
+            for row in rows
+        ],
+    )
+
+
+def render_provider_table(rows: list[ProviderRow], top: int = 8) -> str:
+    shown = rows[:top]
+    return render_table(
+        ["#", "Total", "AS Org.", "Mirroring", "#m", "Use", "#u"],
+        [
+            (
+                row.total_rank,
+                format_count(row.total),
+                row.org,
+                format_count(row.mirroring),
+                row.mirroring_rank,
+                format_count(row.use),
+                row.use_rank,
+            )
+            for row in shown
+        ],
+    )
+
+
+def render_clearing_table(table: ClearingTable, top: int = 9) -> str:
+    body = render_table(
+        ["AS Org.", "Cleared", "Not Tested", "Not Cleared"],
+        [
+            (row.org, format_count(row.cleared), format_count(row.not_tested), format_count(row.not_cleared))
+            for row in table.rows[:top]
+        ],
+    )
+    totals = (
+        f"<total> cleared={format_count(table.total_cleared)} "
+        f"not-tested={format_count(table.total_not_tested)} "
+        f"not-cleared={format_count(table.total_not_cleared)} | "
+        f"Arelion share of clearing: {100 * table.arelion_share:.1f} %"
+    )
+    return body + "\n" + totals
+
+
+def render_figure3(points: list[Figure3Point]) -> str:
+    labels = ("LiteSpeed", "Pepyaka", "Other", "Unknown")
+    rows = []
+    for point in points:
+        rows.append(
+            (
+                point.week.month_label(),
+                *(format_count(point.mirroring_by_server.get(l, 0)) for l in labels),
+                format_count(point.total_mirroring),
+                format_count(point.total_quic_domains),
+            )
+        )
+    return render_table(
+        ["Month", *labels, "Mirroring", "Total QUIC"], rows
+    )
+
+
+def render_transitions(data: TransitionData) -> str:
+    lines: list[str] = []
+    for index, week in enumerate(data.snapshots):
+        lines.append(f"[{week.month_label()}]")
+        for state, count in sorted(
+            data.state_counts[index].items(), key=lambda item: -item[1]
+        ):
+            lines.append(f"  {state:<22} {format_count(count)}")
+        if index < len(data.flows):
+            lines.append(f"  -- flows to {data.snapshots[index + 1].month_label()} --")
+            for (src, dst), count in sorted(
+                data.flows[index].items(), key=lambda item: -item[1]
+            ):
+                lines.append(f"  {src} -> {dst}: {format_count(count)}")
+    return "\n".join(lines)
+
+
+def render_relation(data: RelationData, left_title: str, right_title: str) -> str:
+    lines = [f"{left_title}:"]
+    for group, count in sorted(data.left_counts.items(), key=lambda i: -i[1]):
+        lines.append(f"  {group:<38} {format_count(count)}")
+    lines.append(f"{right_title}:")
+    for group, count in sorted(data.right_counts.items(), key=lambda i: -i[1]):
+        lines.append(f"  {group:<38} {format_count(count)}")
+    lines.append("top joint flows:")
+    for (left, right), count in sorted(data.joint.items(), key=lambda i: -i[1])[:10]:
+        lines.append(f"  {left}  ->  {right}: {format_count(count)}")
+    return "\n".join(lines)
+
+
+def render_figure7(points: list[Figure7Point]) -> str:
+    rows = []
+    for point in sorted(points, key=lambda p: p.vantage_id):
+        v4 = f"{point.pct_capable_v4:.2f} %" if point.pct_capable_v4 is not None else "-"
+        v6 = f"{point.pct_capable_v6:.2f} %" if point.pct_capable_v6 is not None else "-"
+        rows.append((point.marker, point.city, f"{point.lat:.1f}", f"{point.lon:.1f}", v4, v6))
+    return render_table(["", "City", "Lat", "Lon", "ECN v4", "ECN v6"], rows)

@@ -1,0 +1,123 @@
+"""Full-text report: every table and figure of the evaluation in one go."""
+
+from __future__ import annotations
+
+from repro.analysis import figures as fig
+from repro.analysis import tables as tab
+from repro.analysis.classify import ValidationClass
+from repro.analysis.render import (
+    render_clearing_table,
+    render_figure3,
+    render_figure7,
+    render_provider_table,
+    render_table,
+    render_table1,
+    render_transitions,
+)
+from repro.pipeline.campaign import Campaign
+from repro.pipeline.runs import WeeklyRun
+from repro.pipeline.vantage import VantageRun
+from repro.util.fmt import format_count
+from repro.web.world import World
+
+
+def _section(title: str, body: str) -> str:
+    bar = "=" * max(10, len(title))
+    return f"{bar}\n{title}\n{bar}\n{body}\n"
+
+
+def reference_report(run: WeeklyRun, ipv6_run: WeeklyRun | None = None) -> str:
+    """Tables 1-7 (+ parking) from a reference-week run with tracebox."""
+    parts: list[str] = []
+    parts.append(_section("Table 1: ECN mirroring and use", render_table1(tab.table1(run))))
+    parts.append(
+        _section("Table 2: c/n/o QUIC providers", render_provider_table(tab.table2(run)))
+    )
+    parts.append(
+        _section("Table 3: toplist QUIC providers", render_provider_table(tab.table3(run)))
+    )
+    if run.traces:
+        parts.append(
+            _section("Table 4: codepoint clearing", render_clearing_table(tab.table4(run)))
+        )
+    validation = tab.table5(run, ipv6_run)
+    rows = [
+        (
+            cls.value,
+            format_count(cells["ipv4"].ips),
+            format_count(cells["ipv4"].domains),
+            format_count(cells["ipv6"].ips),
+            format_count(cells["ipv6"].domains),
+        )
+        for cls, cells in validation.items()
+    ]
+    parts.append(
+        _section(
+            "Table 5: ECN validation results",
+            render_table(["Class", "IPs v4", "Domains v4", "IPs v6", "Domains v6"], rows),
+        )
+    )
+    ranking = tab.table6(run)
+    lines = []
+    for cls in (
+        ValidationClass.CAPABLE,
+        ValidationClass.UNDERCOUNT,
+        ValidationClass.REMARK_ECT1,
+    ):
+        entries = ", ".join(f"{org} {format_count(n)}" for org, n in ranking[cls][:5])
+        lines.append(f"{cls.value}: {entries}")
+    parts.append(_section("Table 6: validation classes per provider", "\n".join(lines)))
+    if run.traces:
+        rows7 = [
+            (r.validation.value, r.final_codepoint, format_count(r.ips), format_count(r.domains))
+            for r in tab.table7(run)
+        ]
+        parts.append(
+            _section(
+                "Table 7: failures x network impacts",
+                render_table(["Validation", "Trace shows", "IPs", "Domains"], rows7),
+            )
+        )
+    parking = tab.parking_summary(run)
+    parts.append(
+        _section(
+            "Parking check (§5.1)",
+            f"{format_count(parking.parked_quic_domains)} of "
+            f"{format_count(parking.quic_domains)} QUIC domains parked "
+            f"({100 * parking.parked_share:.1f} %)",
+        )
+    )
+    return "\n".join(parts)
+
+
+def longitudinal_report(campaign: Campaign) -> str:
+    """Figures 3/4/8 from a campaign."""
+    parts = [
+        _section("Figure 3: mirroring over time", render_figure3(fig.figure3(campaign)))
+    ]
+    weeks = campaign.weeks()
+    snapshots = (weeks[0], weeks[len(weeks) // 2], weeks[-1])
+    filtered = fig.figure4(campaign, snapshots, min_flow=2, require_ecn_touch=True)
+    parts.append(_section("Figure 4: transitions (filtered)", render_transitions(filtered)))
+    raw = fig.figure8(campaign, snapshots)
+    parts.append(_section("Figure 8: transitions (unfiltered)", render_transitions(raw)))
+    return "\n".join(parts)
+
+
+def global_report(
+    world: World,
+    distributed_v4: dict[str, VantageRun],
+    distributed_v6: dict[str, VantageRun] | None = None,
+) -> str:
+    """Figure 7 + the §8 error-category comparison."""
+    points = fig.figure7(world, distributed_v4, distributed_v6)
+    parts = [_section("Figure 7: global validation pass rates", render_figure7(points))]
+    cats = fig.vantage_error_categories(distributed_v4)
+    lines = []
+    for vantage_id in sorted(cats):
+        entries = ", ".join(
+            f"{k} {format_count(v)}" for k, v in sorted(cats[vantage_id].items())
+        )
+        lines.append(f"{vantage_id}: {entries}")
+    parts.append(_section("Error categories per vantage (§8)", "\n".join(lines)))
+    return "\n".join(parts)

@@ -1,0 +1,10 @@
+"""AS database: longest-prefix matching and AS-to-organization mapping.
+
+Stands in for the paper's RIPE RIS BGP data (IP -> ASN) and CAIDA's
+as2org dataset (ASN -> organization, with sibling-AS merging, §5.2).
+"""
+
+from repro.asdb.as2org import AsOrgMap
+from repro.asdb.prefixtree import PrefixTree
+
+__all__ = ["AsOrgMap", "PrefixTree"]

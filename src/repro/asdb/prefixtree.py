@@ -1,0 +1,82 @@
+"""Binary prefix trie for longest-prefix-match IP-to-ASN lookup."""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class _Node:
+    children: list["_Node | None"] = field(default_factory=lambda: [None, None])
+    value: int | None = None  # ASN announced for the prefix ending here
+
+
+class PrefixTree:
+    """Maps IP prefixes to ASNs with longest-prefix-match semantics.
+
+    Handles IPv4 and IPv6 in separate tries (like separate BGP RIBs).
+    """
+
+    def __init__(self) -> None:
+        self._roots = {4: _Node(), 6: _Node()}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    def insert(self, prefix: str, asn: int) -> None:
+        """Announce ``prefix`` (e.g. "203.0.113.0/24") for ``asn``."""
+        network = ipaddress.ip_network(prefix, strict=False)
+        node = self._roots[network.version]
+        bits = int(network.network_address)
+        width = network.max_prefixlen
+        for depth in range(network.prefixlen):
+            bit = (bits >> (width - 1 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+        if node.value is None:
+            self._size += 1
+        node.value = asn
+
+    def lookup(self, address: str) -> int | None:
+        """Longest-prefix-match; None when no covering prefix exists."""
+        ip = ipaddress.ip_address(address)
+        node = self._roots[ip.version]
+        bits = int(ip)
+        width = ip.max_prefixlen
+        best = node.value
+        for depth in range(width):
+            bit = (bits >> (width - 1 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.value is not None:
+                best = node.value
+        return best
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[str, int]]:
+        """Yield (prefix, asn) pairs (for debugging / serialisation)."""
+        for version, root in self._roots.items():
+            width = 32 if version == 4 else 128
+            yield from self._walk(root, 0, 0, width, version)
+
+    def _walk(
+        self, node: _Node, value: int, depth: int, width: int, version: int
+    ) -> Iterator[tuple[str, int]]:
+        if node.value is not None:
+            base = value << (width - depth)
+            addr = (
+                ipaddress.IPv4Address(base)
+                if version == 4
+                else ipaddress.IPv6Address(base)
+            )
+            yield f"{addr}/{depth}", node.value
+        for bit in (0, 1):
+            child = node.children[bit]
+            if child is not None:
+                yield from self._walk(child, (value << 1) | bit, depth + 1, width, version)

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the measurement phases of the paper:
+
+* ``scan``         — one weekly scan from the main vantage point;
+                     prints Tables 1-7.
+* ``campaign``     — longitudinal snapshots; prints Figures 3/4/8.
+* ``distributed``  — 17-vantage distributed run; prints Figure 7.
+* ``trace``        — tracebox one provider/group's path.
+* ``l4s``          — the §9.3 L4S re-marking experiment.
+* ``grease``       — the §9.3 ECN greasing study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro
+from repro.analysis.report import global_report, longitudinal_report, reference_report
+from repro.extensions.greasing import run_greasing_study
+from repro.l4s.experiment import run_l4s_experiment
+from repro.tracebox.classify import classify_trace
+from repro.tracebox.probe import trace_site
+from repro.util.weeks import Week
+from repro.web.spec import WorldConfig
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=4_000,
+        help="world scale: 1 simulated domain = SCALE real domains",
+    )
+    parser.add_argument("--seed", type=int, default=20230415)
+
+
+def _build_world(args) -> "repro.World":
+    return repro.build_world(WorldConfig(scale=args.scale, seed=args.seed))
+
+
+def _parse_week(text: str) -> Week:
+    year, week = text.split("-W")
+    return Week(int(year), int(week))
+
+
+def _cmd_scan(args) -> int:
+    world = _build_world(args)
+    week = _parse_week(args.week) if args.week else world.config.reference_week
+    run = repro.run_weekly_scan(world, week, run_tracebox=not args.no_tracebox)
+    ipv6 = None
+    if args.ipv6:
+        ipv6 = repro.run_weekly_scan(
+            world, world.config.ipv6_week, ip_version=6, populations=("cno",)
+        )
+    print(reference_report(run, ipv6))
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    world = _build_world(args)
+    campaign = repro.run_campaign(world, cadence_weeks=args.cadence)
+    print(longitudinal_report(campaign))
+    return 0
+
+
+def _cmd_distributed(args) -> int:
+    world = _build_world(args)
+    dist_v4 = repro.run_distributed(world, ip_version=4)
+    dist_v6 = repro.run_distributed(world, ip_version=6) if args.ipv6 else None
+    print(global_report(world, dist_v4, dist_v6))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    world = _build_world(args)
+    week = _parse_week(args.week) if args.week else world.config.reference_week
+    sites = [
+        s
+        for s in world.sites
+        if s.provider.name == args.provider
+        and (args.group is None or s.group.key == args.group)
+    ]
+    if not sites:
+        print(f"no sites for provider {args.provider!r}", file=sys.stderr)
+        return 1
+    site = sites[0]
+    result = trace_site(world, site, week)
+    for hop in result.hops:
+        if hop.responded:
+            org = world.asorg.org_for(hop.router_asn)
+            print(
+                f"ttl={hop.ttl:2d} {hop.router_address:<16s} AS{hop.router_asn:<6d} "
+                f"{org:<26s} quote: {hop.quote_ecn.short_name()}"
+            )
+        else:
+            print(f"ttl={hop.ttl:2d} * (timeout)")
+    summary = classify_trace(result)
+    print(f"impairment: {summary.impairment.value}")
+    if summary.culprit_asn is not None:
+        print(f"culprit: AS{summary.culprit_asn} ({world.asorg.org_for(summary.culprit_asn)})")
+    elif summary.changes:
+        a, b = summary.culprit_candidates
+        print(f"culprit: ambiguous (AS{a} or AS{b})")
+    return 0
+
+
+def _cmd_l4s(args) -> int:
+    healthy = run_l4s_experiment(remark_classic=False, rounds=args.rounds)
+    remarked = run_l4s_experiment(remark_classic=True, rounds=args.rounds)
+    print(f"{'scenario':10s} {'classic':>9s} {'scalable':>9s} {'share':>7s}")
+    for name, run in (("healthy", healthy), ("remarked", remarked)):
+        print(
+            f"{name:10s} {run.classic_delivered:9d} {run.scalable_delivered:9d} "
+            f"{100 * run.classic_share:6.1f}%"
+        )
+    penalty = 1 - remarked.classic_delivered / max(1, healthy.classic_delivered)
+    print(f"classic throughput penalty from re-marking: {100 * penalty:.0f} %")
+    return 0
+
+
+def _cmd_grease(args) -> int:
+    world = _build_world(args)
+    report = run_greasing_study(world, max_sites=args.max_sites)
+    print(f"hosts scanned:            {report.hosts_scanned}")
+    print(f"visible without grease:   {report.visible_without_grease}")
+    print(f"visible with grease:      {report.visible_with_grease}")
+    print(f"visibility gain:          {100 * report.visibility_gain:.0f} % of hosts")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'ECN with QUIC: Challenges in the Wild' (IMC '23)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="weekly scan; prints Tables 1-7")
+    _add_world_args(scan)
+    scan.add_argument("--week", help="ISO week like 2023-W15")
+    scan.add_argument("--ipv6", action="store_true", help="add the IPv6 run")
+    scan.add_argument("--no-tracebox", action="store_true")
+    scan.set_defaults(func=_cmd_scan)
+
+    campaign = sub.add_parser("campaign", help="longitudinal Figures 3/4/8")
+    _add_world_args(campaign)
+    campaign.add_argument("--cadence", type=int, default=12, help="weeks between scans")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    distributed = sub.add_parser("distributed", help="global Figure 7")
+    _add_world_args(distributed)
+    distributed.add_argument("--ipv6", action="store_true")
+    distributed.set_defaults(func=_cmd_distributed)
+
+    trace = sub.add_parser("trace", help="tracebox one provider's path")
+    _add_world_args(trace)
+    trace.add_argument("--provider", required=True)
+    trace.add_argument("--group")
+    trace.add_argument("--week")
+    trace.set_defaults(func=_cmd_trace)
+
+    l4s = sub.add_parser("l4s", help="§9.3 L4S re-marking experiment")
+    l4s.add_argument("--rounds", type=int, default=200)
+    l4s.set_defaults(func=_cmd_l4s)
+
+    grease = sub.add_parser("grease", help="§9.3 ECN greasing study")
+    _add_world_args(grease)
+    grease.add_argument("--max-sites", type=int, default=120)
+    grease.set_defaults(func=_cmd_grease)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""ECN core: codepoints, counters, RFC 9000 validation, terminology.
+
+This package is the paper's primary conceptual contribution in code form:
+a faithful implementation of QUIC's ECN validation (RFC 9000 §13.4.2,
+paper Figure 1) plus the vocabulary the paper uses to classify endpoints
+(Mirroring / Capable / Use / Full Use) and validation outcomes
+(Capable / Undercount / Re-marking ECT(1) / All CE / No Mirroring).
+"""
+
+from repro.core.codepoints import ECN, ecn_from_tos, tos_with_ecn
+from repro.core.counters import EcnCounts
+from repro.core.terminology import EcnSupport, SupportClass, classify_support
+from repro.core.validation import (
+    AckEcnSample,
+    EcnValidator,
+    ValidationConfig,
+    ValidationOutcome,
+    ValidationState,
+)
+
+__all__ = [
+    "ECN",
+    "ecn_from_tos",
+    "tos_with_ecn",
+    "EcnCounts",
+    "EcnSupport",
+    "SupportClass",
+    "classify_support",
+    "AckEcnSample",
+    "EcnValidator",
+    "ValidationConfig",
+    "ValidationOutcome",
+    "ValidationState",
+]

@@ -1,0 +1,66 @@
+"""ECN codepoints as defined by RFC 3168.
+
+The two ECN bits live in the low bits of the (former) IPv4 ToS byte /
+IPv6 traffic class byte:
+
+    not-ECT = 0b00   ECN not supported
+    ECT(1)  = 0b01   ECN capable transport (L4S semantics since RFC 9331)
+    ECT(0)  = 0b10   ECN capable transport
+    CE      = 0b11   congestion experienced
+
+The paper (§7.1) notes that the numeric encoding — 2 being ECT(0) and 1
+being ECT(1) — is a classic source of implementor confusion, which we
+model in :mod:`repro.quicstacks.generic`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ECN(enum.IntEnum):
+    """The four ECN codepoints (value = the two ECN bits)."""
+
+    NOT_ECT = 0b00
+    ECT1 = 0b01
+    ECT0 = 0b10
+    CE = 0b11
+
+    @property
+    def is_ect(self) -> bool:
+        """True for ECT(0)/ECT(1): packet declares an ECN-capable transport."""
+        return self in (ECN.ECT0, ECN.ECT1)
+
+    @property
+    def is_marked(self) -> bool:
+        """True when the congestion-experienced mark is set."""
+        return self is ECN.CE
+
+    def short_name(self) -> str:
+        return {
+            ECN.NOT_ECT: "not-ECT",
+            ECN.ECT1: "ECT(1)",
+            ECN.ECT0: "ECT(0)",
+            ECN.CE: "CE",
+        }[self]
+
+
+#: Mask of the two ECN bits within the ToS / traffic-class byte.
+ECN_MASK = 0b0000_0011
+#: Mask of the six DSCP bits.
+DSCP_MASK = 0b1111_1100
+
+
+def ecn_from_tos(tos: int) -> ECN:
+    """Extract the ECN codepoint from a ToS / traffic-class byte."""
+    return ECN(tos & ECN_MASK)
+
+
+def tos_with_ecn(tos: int, codepoint: ECN) -> int:
+    """Return ``tos`` with its ECN bits replaced by ``codepoint``."""
+    return (tos & DSCP_MASK) | int(codepoint)
+
+
+def dscp_from_tos(tos: int) -> int:
+    """Extract the six DSCP bits (shifted down) from a ToS byte."""
+    return (tos & DSCP_MASK) >> 2

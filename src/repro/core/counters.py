@@ -1,0 +1,69 @@
+"""ECN counter algebra.
+
+QUIC reports, per packet-number space, the total number of packets
+received with each ECN codepoint (RFC 9000 §19.3.2).  Validation reasons
+about *deltas* between successive ACKs and about monotonicity, so the
+counter triple gets a small algebra of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.codepoints import ECN
+
+
+@dataclass(frozen=True)
+class EcnCounts:
+    """Cumulative ECT(0)/ECT(1)/CE counters as carried in an ACK frame."""
+
+    ect0: int = 0
+    ect1: int = 0
+    ce: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ect0 < 0 or self.ect1 < 0 or self.ce < 0:
+            raise ValueError(f"negative ECN counter: {self}")
+
+    @property
+    def total(self) -> int:
+        return self.ect0 + self.ect1 + self.ce
+
+    def with_observed(self, codepoint: ECN) -> "EcnCounts":
+        """Counters after observing one packet with ``codepoint``."""
+        if codepoint is ECN.ECT0:
+            return EcnCounts(self.ect0 + 1, self.ect1, self.ce)
+        if codepoint is ECN.ECT1:
+            return EcnCounts(self.ect0, self.ect1 + 1, self.ce)
+        if codepoint is ECN.CE:
+            return EcnCounts(self.ect0, self.ect1, self.ce + 1)
+        return self
+
+    def __add__(self, other: "EcnCounts") -> "EcnCounts":
+        return EcnCounts(
+            self.ect0 + other.ect0, self.ect1 + other.ect1, self.ce + other.ce
+        )
+
+    def __sub__(self, other: "EcnCounts") -> "EcnCounts":
+        """Delta between two cumulative counter snapshots.
+
+        Raises ValueError when the result would be negative, i.e. when the
+        remote's counters moved backwards (a validation failure in itself).
+        """
+        return EcnCounts(
+            self.ect0 - other.ect0, self.ect1 - other.ect1, self.ce - other.ce
+        )
+
+    def is_monotonic_from(self, earlier: "EcnCounts") -> bool:
+        """True when every counter is >= its value in ``earlier``."""
+        return (
+            self.ect0 >= earlier.ect0
+            and self.ect1 >= earlier.ect1
+            and self.ce >= earlier.ce
+        )
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.ect0, self.ect1, self.ce)
+
+    def __str__(self) -> str:
+        return f"ECT0={self.ect0} ECT1={self.ect1} CE={self.ce}"

@@ -1,0 +1,60 @@
+"""The paper's §2.2.2 terminology for ECN support with QUIC.
+
+*Mirroring*  — the endpoint echoes ECN counters in its ACKs.
+*Capable*    — ECN validation of the forward path succeeded.
+*Use*        — the endpoint itself sets ECN codepoints on its packets.
+*Full use*   — ECN is used on an ECN-capable path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.validation import ValidationOutcome
+
+
+class SupportClass(enum.Enum):
+    """Coarse per-endpoint support class used throughout the analysis."""
+
+    NO_MIRRORING = "no_mirroring"
+    MIRRORING_ONLY = "mirroring_only"  # mirrors, but validation failed
+    CAPABLE = "capable"  # mirrors and validation succeeded
+
+
+@dataclass(frozen=True)
+class EcnSupport:
+    """The four terminology flags for one observed endpoint."""
+
+    mirroring: bool
+    capable: bool
+    use: bool
+
+    @property
+    def full_use(self) -> bool:
+        return self.use and self.capable
+
+    @property
+    def support_class(self) -> SupportClass:
+        if not self.mirroring:
+            return SupportClass.NO_MIRRORING
+        if self.capable:
+            return SupportClass.CAPABLE
+        return SupportClass.MIRRORING_ONLY
+
+
+def classify_support(
+    mirroring_observed: bool,
+    outcome: ValidationOutcome,
+    server_set_ect: bool,
+) -> EcnSupport:
+    """Derive the terminology flags from raw scan observations.
+
+    ``server_set_ect`` reports whether inbound packets from the server
+    carried ECT codepoints (the server *uses* ECN on its reverse path).
+    """
+    return EcnSupport(
+        mirroring=mirroring_observed,
+        capable=outcome is ValidationOutcome.CAPABLE,
+        use=server_set_ect,
+    )

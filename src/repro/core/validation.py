@@ -1,0 +1,256 @@
+"""QUIC ECN validation (RFC 9000 §13.4.2 / A.4; paper Figure 1).
+
+The endpoint marks its first packets ECT(0) (the *testing* phase), then
+stops marking and inspects the ECN counters echoed in ACK frames (the
+*unknown* phase).  Validation succeeds — the path is *capable* — only if
+the peer's counters account for every acknowledged marked packet; it
+fails on missing counters, wrong codepoints, non-monotonic counters,
+undercounting, loss of all testing packets, or all packets arriving CE.
+
+The paper adapts the RFC's suggested budget of 10 packets / 3 timeouts
+down to 5 packets / 2 timeouts (§4.1, §4.4); both are expressible via
+:class:`ValidationConfig` and compared in the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.codepoints import ECN
+from repro.core.counters import EcnCounts
+
+
+class ValidationState(enum.Enum):
+    """States of the validation machine (paper Figure 1)."""
+
+    TESTING = "testing"
+    UNKNOWN = "unknown"
+    CAPABLE = "capable"
+    FAILED = "failed"
+
+
+class ValidationOutcome(enum.Enum):
+    """Terminal classification; the paper's Table 5 row vocabulary."""
+
+    PENDING = "pending"
+    CAPABLE = "capable"
+    NO_MIRRORING = "no_mirroring"
+    WRONG_CODEPOINT = "wrong_codepoint"  # e.g. re-marking ECT(0) -> ECT(1)
+    NON_MONOTONIC = "non_monotonic"
+    UNDERCOUNT = "undercount"
+    ALL_CE = "all_ce"
+    BLACKHOLE = "blackhole"  # every testing packet lost
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """Budget of the testing phase.
+
+    ``testing_packets``/``max_timeouts`` default to the paper's adapted
+    values; pass (10, 3) for the RFC 9000 suggestion.  ``probe_codepoint``
+    is ECT(0) normally, or CE for the paper's §6.3 TCP-comparison mode.
+    """
+
+    testing_packets: int = 5
+    max_timeouts: int = 2
+    probe_codepoint: ECN = ECN.ECT0
+
+    def __post_init__(self) -> None:
+        if self.testing_packets < 1:
+            raise ValueError("testing_packets must be >= 1")
+        if self.max_timeouts < 1:
+            raise ValueError("max_timeouts must be >= 1")
+        if self.probe_codepoint is ECN.NOT_ECT:
+            raise ValueError("probe codepoint must be an ECN codepoint")
+
+
+@dataclass(frozen=True)
+class AckEcnSample:
+    """What one ACK frame tells the validator.
+
+    ``newly_acked_marked`` is the number of not-yet-acknowledged packets
+    that were sent with the probe codepoint and are covered by this ACK.
+    ``counts`` is None when the ACK carried no ECN section at all.
+    """
+
+    newly_acked_marked: int
+    counts: EcnCounts | None
+
+
+@dataclass
+class EcnValidator:
+    """Client-side ECN validation state machine.
+
+    Drive it with :meth:`on_packet_sent`, :meth:`on_timeout` and
+    :meth:`on_ack`; read :attr:`state`, :attr:`outcome` and
+    :meth:`marking_for_next_packet`.
+    """
+
+    config: ValidationConfig = field(default_factory=ValidationConfig)
+    state: ValidationState = ValidationState.TESTING
+    outcome: ValidationOutcome = ValidationOutcome.PENDING
+
+    marked_sent: int = 0
+    marked_acked: int = 0
+    timeouts: int = 0
+    baseline: EcnCounts = field(default_factory=EcnCounts)
+    last_counts: EcnCounts | None = None
+    saw_any_counts: bool = False
+    ce_observed: int = 0
+
+    # ------------------------------------------------------------------
+    # Sending side
+    # ------------------------------------------------------------------
+    def marking_for_next_packet(self) -> ECN:
+        """Codepoint to place on the next outgoing packet."""
+        if self.state is ValidationState.TESTING:
+            return self.config.probe_codepoint
+        if self.state is ValidationState.CAPABLE:
+            return self.config.probe_codepoint
+        return ECN.NOT_ECT
+
+    def on_packet_sent(self, marking: ECN) -> None:
+        """Record an outgoing packet; advances TESTING -> UNKNOWN."""
+        if marking is not ECN.NOT_ECT:
+            self.marked_sent += 1
+        if (
+            self.state is ValidationState.TESTING
+            and self.marked_sent >= self.config.testing_packets
+        ):
+            self.state = ValidationState.UNKNOWN
+
+    def on_timeout(self) -> None:
+        """A retransmission timeout during the testing phase."""
+        if self.state in (ValidationState.CAPABLE, ValidationState.FAILED):
+            return
+        self.timeouts += 1
+        if self.timeouts >= self.config.max_timeouts:
+            # Leave the testing phase; if nothing was ever acknowledged the
+            # path black-holes ECT packets and validation fails.
+            if self.marked_acked == 0:
+                self._fail(ValidationOutcome.BLACKHOLE)
+            else:
+                self.state = ValidationState.UNKNOWN
+
+    # ------------------------------------------------------------------
+    # Receiving side
+    # ------------------------------------------------------------------
+    def on_ack(self, sample: AckEcnSample) -> None:
+        """Process the ECN section of one ACK frame."""
+        if self.state is ValidationState.FAILED:
+            return
+        if sample.newly_acked_marked < 0:
+            raise ValueError("newly_acked_marked must be >= 0")
+
+        if sample.counts is None:
+            # RFC 9000: if an ACK newly acknowledges a marked packet but has
+            # no ECN section, validation fails.  The paper's classification
+            # distinguishes a peer that never mirrored (No Mirroring) from
+            # one that mirrored at first and then stopped — e.g. lsquic's
+            # packet-number-space bug — which it counts as undercounting.
+            if sample.newly_acked_marked > 0:
+                self.marked_acked += sample.newly_acked_marked
+                if self.saw_any_counts:
+                    self._fail(ValidationOutcome.UNDERCOUNT)
+                else:
+                    self._fail(ValidationOutcome.NO_MIRRORING)
+            return
+
+        self.saw_any_counts = True
+        previous = self.last_counts if self.last_counts is not None else self.baseline
+        if not sample.counts.is_monotonic_from(previous):
+            self._fail(ValidationOutcome.NON_MONOTONIC)
+            return
+
+        delta = sample.counts - previous
+        self.last_counts = sample.counts
+        self.marked_acked += sample.newly_acked_marked
+        self.ce_observed += delta.ce
+
+        if not self._delta_consistent(delta, sample.newly_acked_marked):
+            return
+        if self._all_testing_packets_ce():
+            self._fail(ValidationOutcome.ALL_CE)
+            return
+        if (
+            self.state is ValidationState.UNKNOWN
+            and self.marked_acked >= 1
+            and self._fully_accounted()
+        ):
+            self.state = ValidationState.CAPABLE
+            self.outcome = ValidationOutcome.CAPABLE
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _delta_consistent(self, delta: EcnCounts, newly_acked: int) -> bool:
+        """Check one ACK's counter delta against newly acked marked packets."""
+        probe = self.config.probe_codepoint
+        if probe is ECN.ECT0:
+            matching = delta.ect0 + delta.ce
+            foreign = delta.ect1
+        elif probe is ECN.ECT1:
+            matching = delta.ect1 + delta.ce
+            foreign = delta.ect0
+        else:  # CE probing: only the CE counter may move
+            matching = delta.ce
+            foreign = delta.ect0 + delta.ect1
+        if foreign > 0:
+            self._fail(ValidationOutcome.WRONG_CODEPOINT)
+            return False
+        if matching < newly_acked:
+            self._fail(ValidationOutcome.UNDERCOUNT)
+            return False
+        return True
+
+    def _all_testing_packets_ce(self) -> bool:
+        """All acknowledged testing packets were CE-marked (suspicious)."""
+        if self.config.probe_codepoint is ECN.CE:
+            return False  # CE probing expects CE counts; cannot distinguish
+        return (
+            self.marked_acked >= self.config.testing_packets
+            and self.ce_observed >= self.marked_acked
+        )
+
+    def _fully_accounted(self) -> bool:
+        """Every acked marked packet shows up in the peer's counters."""
+        if self.last_counts is None:
+            return False
+        seen = self.last_counts - self.baseline
+        probe = self.config.probe_codepoint
+        if probe is ECN.ECT0:
+            return seen.ect0 + seen.ce >= self.marked_acked
+        if probe is ECN.ECT1:
+            return seen.ect1 + seen.ce >= self.marked_acked
+        return seen.ce >= self.marked_acked
+
+    def _fail(self, outcome: ValidationOutcome) -> None:
+        self.state = ValidationState.FAILED
+        self.outcome = outcome
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    @property
+    def mirroring_observed(self) -> bool:
+        """Did the peer ever echo ECN counters at all?"""
+        return self.saw_any_counts
+
+    def finish(self) -> ValidationOutcome:
+        """Close the connection: resolve PENDING to a terminal outcome."""
+        if self.outcome is not ValidationOutcome.PENDING:
+            return self.outcome
+        if not self.saw_any_counts:
+            if self.marked_acked == 0 and self.timeouts >= self.config.max_timeouts:
+                self._fail(ValidationOutcome.BLACKHOLE)
+            else:
+                self._fail(ValidationOutcome.NO_MIRRORING)
+            return self.outcome
+        # Counters were seen but never fully accounted: treat as undercount.
+        if self._fully_accounted() and self.marked_acked >= 1:
+            self.state = ValidationState.CAPABLE
+            self.outcome = ValidationOutcome.CAPABLE
+        else:
+            self._fail(ValidationOutcome.UNDERCOUNT)
+        return self.outcome

@@ -1,0 +1,5 @@
+"""DNS model: A/AAAA records with per-vantage (geo) resolution views."""
+
+from repro.dns.resolver import DnsRecord, Resolver
+
+__all__ = ["DnsRecord", "Resolver"]

@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's evaluation: its §9 proposals, made runnable."""
+
+from repro.extensions.greasing import GreasingReport, run_greasing_study
+
+__all__ = ["GreasingReport", "run_greasing_study"]

@@ -1,0 +1,5 @@
+"""Minimal HTTP layer: requests/responses over TCP (1.1/2) and QUIC (3)."""
+
+from repro.http.messages import HttpRequest, HttpResponse
+
+__all__ = ["HttpRequest", "HttpResponse"]

@@ -1,0 +1,75 @@
+"""HTTP request/response records.
+
+Only the header fields the study consumes are modelled: ``server`` (the
+webserver identification behind Figure 3), ``via`` (Google's reverse
+proxy fingerprint for wix.com / Pepyaka), ``alt-svc`` and ``location``
+(which the scanner deliberately ignores, §4.1), plus the research-context
+hint header required by the ethics appendix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Ethics appendix: every request embeds the project name as a hint.
+RESEARCH_HINT_HEADER = ("x-research", "quic-ecn-measurement; opt-out: see probe IP website")
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """A GET issued by the scanner."""
+
+    authority: str
+    path: str = "/"
+    method: str = "GET"
+    headers: tuple[tuple[str, str], ...] = (RESEARCH_HINT_HEADER,)
+
+    def header(self, name: str) -> str | None:
+        for key, value in self.headers:
+            if key.lower() == name.lower():
+                return value
+        return None
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """A server response; header access is case-insensitive."""
+
+    status: int = 200
+    headers: tuple[tuple[str, str], ...] = ()
+    body: bytes = b""
+
+    def header(self, name: str) -> str | None:
+        for key, value in self.headers:
+            if key.lower() == name.lower():
+                return value
+        return None
+
+    @property
+    def server(self) -> str | None:
+        return self.header("server")
+
+    @property
+    def server_product(self) -> str | None:
+        """Server header with version suffixes stripped (paper §5.3
+        removes everything after '/')."""
+        raw = self.server
+        if raw is None:
+            return None
+        return raw.split("/", 1)[0].strip()
+
+    @property
+    def via(self) -> str | None:
+        return self.header("via")
+
+    @property
+    def alt_svc(self) -> str | None:
+        return self.header("alt-svc")
+
+    @property
+    def location(self) -> str | None:
+        return self.header("location")
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in (301, 302, 303, 307, 308)

@@ -1,0 +1,24 @@
+"""L4S (RFC 9330/9331) interaction study.
+
+The paper warns (§2.1, §7.1, §9.3) that routers re-marking ECT(0) to
+ECT(1) collide with L4S's redefinition of ECT(1): an L4S dual-queue
+router will steer re-marked *classic* traffic into the low-latency
+queue and CE-mark it aggressively, which a classic congestion controller
+answers with multiplicative decrease per round — "serious performance
+penalties" for traditional TCP.  This package models that mechanism:
+a dual-queue coupled AQM, a classic (Reno-style) and a scalable
+(Prague-style) congestion controller, and a round-based experiment that
+quantifies the throughput damage caused by on-path re-marking.
+"""
+
+from repro.l4s.aqm import DualQueueAqm
+from repro.l4s.cc import ClassicSender, ScalableSender
+from repro.l4s.experiment import L4sRunResult, run_l4s_experiment
+
+__all__ = [
+    "DualQueueAqm",
+    "ClassicSender",
+    "ScalableSender",
+    "L4sRunResult",
+    "run_l4s_experiment",
+]

@@ -1,0 +1,52 @@
+"""Round-based congestion controllers: classic AIMD vs scalable.
+
+``ClassicSender`` reacts to *any* CE mark in a round with one
+multiplicative decrease (RFC 3168 semantics — Reno/Cubic-style).
+``ScalableSender`` reduces proportionally to the *fraction* of marked
+packets (DCTCP/Prague-style), which is what makes the aggressive L4S
+marking ramp survivable for L4S traffic but punishing for classic
+traffic that was re-marked into the L4S queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ClassicSender:
+    """AIMD: +1 packet/round without marks, halve on a marked round."""
+
+    cwnd: float = 10.0
+    min_cwnd: float = 1.0
+    delivered: int = field(default=0, init=False)
+
+    def offered(self) -> int:
+        return max(1, round(self.cwnd))
+
+    def on_round(self, sent: int, ce_marks: int) -> None:
+        self.delivered += sent
+        if ce_marks > 0:
+            self.cwnd = max(self.min_cwnd, self.cwnd / 2.0)
+        else:
+            self.cwnd += 1.0
+
+
+@dataclass
+class ScalableSender:
+    """Proportional response: cwnd *= (1 - fraction/2), like DCTCP."""
+
+    cwnd: float = 10.0
+    min_cwnd: float = 1.0
+    delivered: int = field(default=0, init=False)
+
+    def offered(self) -> int:
+        return max(1, round(self.cwnd))
+
+    def on_round(self, sent: int, ce_marks: int) -> None:
+        self.delivered += sent
+        if sent > 0 and ce_marks > 0:
+            fraction = min(1.0, ce_marks / sent)
+            self.cwnd = max(self.min_cwnd, self.cwnd * (1.0 - fraction / 2.0))
+        else:
+            self.cwnd += 1.0

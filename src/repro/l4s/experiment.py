@@ -1,0 +1,92 @@
+"""The §9.3 experiment: what re-marking does to classic traffic on L4S.
+
+One classic sender marks its packets ECT(0).  On a healthy path the
+dual-queue router steers it into the classic queue (gentle marking).
+Behind an ECT(0)->ECT(1) re-marking router — the impairment the paper
+traced to AS 1299 — the *same* traffic is mistaken for L4S: it lands in
+the low-latency queue, gets the aggressive marking ramp, and the classic
+controller halves its window almost every round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.codepoints import ECN
+from repro.l4s.aqm import DualQueueAqm
+from repro.l4s.cc import ClassicSender, ScalableSender
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class L4sRunResult:
+    """Delivered packet totals after ``rounds`` rounds."""
+
+    rounds: int
+    classic_delivered: int
+    scalable_delivered: int
+    classic_marked_rounds: int
+
+    @property
+    def classic_share(self) -> float:
+        total = self.classic_delivered + self.scalable_delivered
+        return self.classic_delivered / total if total else 0.0
+
+
+def run_l4s_experiment(
+    *,
+    remark_classic: bool,
+    rounds: int = 200,
+    capacity: int = 100,
+    seed: int = 7,
+) -> L4sRunResult:
+    """Classic ECT(0) sender + scalable ECT(1) sender share an L4S link.
+
+    ``remark_classic`` inserts the upstream ECT(0)->ECT(1) re-marking
+    router in front of the classic sender's traffic.
+    """
+    rng = RngStream(seed, "l4s-experiment")
+    aqm = DualQueueAqm(capacity=capacity)
+    classic = ClassicSender()
+    scalable = ScalableSender()
+    classic_marked_rounds = 0
+
+    for _ in range(rounds):
+        classic_packets = classic.offered()
+        scalable_packets = scalable.offered()
+        # The scalable sender marks ECT(1); the classic sender marks
+        # ECT(0) — unless the path re-marks it.
+        classic_codepoint = ECN.ECT1 if remark_classic else ECN.ECT0
+        classic_is_l4s = aqm.classify(classic_codepoint)
+
+        if classic_is_l4s:
+            classic_marks, scalable_marks = _split_l4s_marks(
+                aqm, classic_packets, scalable_packets, rng
+            )
+        else:
+            classic_marks, scalable_marks = aqm.process_round(
+                classic_packets, scalable_packets, rng
+            )
+        if classic_marks:
+            classic_marked_rounds += 1
+        classic.on_round(classic_packets, classic_marks)
+        scalable.on_round(scalable_packets, scalable_marks)
+
+    return L4sRunResult(
+        rounds=rounds,
+        classic_delivered=classic.delivered,
+        scalable_delivered=scalable.delivered,
+        classic_marked_rounds=classic_marked_rounds,
+    )
+
+
+def _split_l4s_marks(
+    aqm: DualQueueAqm, classic_packets: int, scalable_packets: int, rng: RngStream
+) -> tuple[int, int]:
+    """Both flows land in the L4S queue; marks split proportionally."""
+    _, l4s_marks = aqm.process_round(0, classic_packets + scalable_packets, rng)
+    total = classic_packets + scalable_packets
+    if total == 0:
+        return 0, 0
+    classic_marks = round(l4s_marks * classic_packets / total)
+    return classic_marks, l4s_marks - classic_marks

@@ -1,0 +1,32 @@
+"""Packet-level network simulator.
+
+Models exactly what the paper's measurements depend on: IP packets with
+ECN bits and TTLs, routers that may rewrite those bits (clear, re-mark,
+CE-mark, bleach the whole ToS byte), ICMP time-exceeded generation with
+packet quotes (for tracebox), ICMP rate limiting, ECMP load balancing,
+loss, and a virtual clock.
+"""
+
+from repro.netsim.clock import Clock
+from repro.netsim.hops import EcnAction, IcmpPolicy, Router
+from repro.netsim.icmp import IcmpMessage, QuotedPacket
+from repro.netsim.packet import FlowKey, IpPacket, TcpPayload, UdpPayload
+from repro.netsim.path import NetworkPath, TraversalResult
+from repro.netsim.network import Network, PathTemplate
+
+__all__ = [
+    "Clock",
+    "EcnAction",
+    "IcmpPolicy",
+    "Router",
+    "IcmpMessage",
+    "QuotedPacket",
+    "FlowKey",
+    "IpPacket",
+    "TcpPayload",
+    "UdpPayload",
+    "NetworkPath",
+    "TraversalResult",
+    "Network",
+    "PathTemplate",
+]

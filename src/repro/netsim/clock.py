@@ -1,0 +1,26 @@
+"""Virtual time.
+
+All timeouts in the scanner (10 s per request, 3 s per tracebox hop) and
+ICMP rate limiting run against this clock, so simulations are fully
+deterministic and fast regardless of wall time.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A monotonically advancing virtual clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now

@@ -1,0 +1,117 @@
+"""Router hops and their ECN (mis)behaviours.
+
+Each impairment class observed in the paper is a one-line bit rewrite:
+
+* ``CLEAR_ECN``      — zero the two ECN bits (what AS 1299 / Arelion did
+  for Server Central, A2 Hosting, …; §6.1).
+* ``BLEACH_TOS``     — rewrite the whole ToS byte (legacy routers; the
+  paper's suspected root cause for clearing).
+* ``REMARK_ECT1``    — rewrite ECT(0) to ECT(1) (§7.1; breaks QUIC
+  validation and L4S, invisible to vanilla TCP).
+* ``ZERO_ECT1``      — rewrite ECT(1) to not-ECT (observed after a
+  re-marking hop for 16.88 k domains; §7.3).
+* ``CE_MARK_ALL``    — mark every packet CE (broken router or severe
+  congestion; the "All CE" validation failure).
+* AQM marking        — probabilistic CE marking of ECT packets, the
+  *intended* use of ECN.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.codepoints import ECN
+from repro.netsim.packet import IpPacket
+from repro.util.rng import RngStream
+
+
+class EcnAction(enum.Enum):
+    """What a router does to the ECN bits of forwarded packets."""
+
+    PASS = "pass"
+    CLEAR_ECN = "clear_ecn"
+    BLEACH_TOS = "bleach_tos"
+    REMARK_ECT1 = "remark_ect0_to_ect1"
+    ZERO_ECT1 = "zero_ect1"
+    CE_MARK_ALL = "ce_mark_all"
+
+
+@dataclass(frozen=True)
+class IcmpPolicy:
+    """Whether and how a router answers TTL expiry with ICMP.
+
+    ``responds=False`` models silent hops (tracebox timeouts);
+    ``rate_per_second`` models ICMP rate limiting (tokens refill linearly,
+    burst up to ``burst``).
+    """
+
+    responds: bool = True
+    rate_per_second: float = 100.0
+    burst: int = 20
+
+
+@dataclass
+class Router:
+    """One forwarding hop."""
+
+    name: str
+    asn: int
+    address: str
+    ecn_action: EcnAction = EcnAction.PASS
+    icmp_policy: IcmpPolicy = field(default_factory=IcmpPolicy)
+    aqm_ce_probability: float = 0.0  # CE-mark ECT packets with this prob.
+    drop_probability: float = 0.0  # random loss at this hop
+    drop_if_ect: bool = False  # ECN blackholing: drop ECT/CE-marked packets
+
+    # ICMP token bucket state
+    _tokens: float = field(default=0.0, init=False, repr=False)
+    _last_refill: float = field(default=0.0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._tokens = float(self.icmp_policy.burst)
+
+    # ------------------------------------------------------------------
+    def apply_ecn_action(self, packet: IpPacket, rng: RngStream) -> None:
+        """Rewrite the packet's ECN bits according to this hop's behaviour."""
+        action = self.ecn_action
+        if action is EcnAction.CLEAR_ECN:
+            packet.ecn = ECN.NOT_ECT
+        elif action is EcnAction.BLEACH_TOS:
+            packet.tos = 0
+        elif action is EcnAction.REMARK_ECT1:
+            if packet.ecn is ECN.ECT0:
+                packet.ecn = ECN.ECT1
+        elif action is EcnAction.ZERO_ECT1:
+            if packet.ecn is ECN.ECT1:
+                packet.ecn = ECN.NOT_ECT
+        elif action is EcnAction.CE_MARK_ALL:
+            packet.ecn = ECN.CE
+        if (
+            self.aqm_ce_probability > 0.0
+            and packet.ecn.is_ect
+            and rng.random() < self.aqm_ce_probability
+        ):
+            packet.ecn = ECN.CE
+
+    def drops(self, packet: IpPacket, rng: RngStream) -> bool:
+        """Loss decision for one packet at this hop."""
+        if self.drop_if_ect and packet.ecn is not ECN.NOT_ECT:
+            return True
+        return self.drop_probability > 0 and rng.random() < self.drop_probability
+
+    # ------------------------------------------------------------------
+    def may_send_icmp(self, now: float) -> bool:
+        """Token-bucket ICMP rate limiting; consumes a token when allowed."""
+        if not self.icmp_policy.responds:
+            return False
+        elapsed = max(0.0, now - self._last_refill)
+        self._last_refill = now
+        self._tokens = min(
+            float(self.icmp_policy.burst),
+            self._tokens + elapsed * self.icmp_policy.rate_per_second,
+        )
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False

@@ -1,0 +1,44 @@
+"""ICMP time-exceeded messages with packet quotes.
+
+Tracebox-style measurements (paper §4.2) rely on routers quoting the
+expired packet inside the ICMP error: the quote reflects the packet *as
+it arrived at that router*, i.e. including all rewrites applied by the
+upstream hops.  Comparing quotes from successive hops localises the
+rewriting router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.codepoints import ECN, ecn_from_tos
+from repro.netsim.packet import IpPacket
+
+
+@dataclass(frozen=True)
+class QuotedPacket:
+    """The portion of the expired packet echoed inside the ICMP error."""
+
+    src: str
+    dst: str
+    tos: int
+    ttl: int
+
+    @property
+    def ecn(self) -> ECN:
+        return ecn_from_tos(self.tos)
+
+    @classmethod
+    def of(cls, packet: IpPacket) -> "QuotedPacket":
+        return cls(src=packet.src, dst=packet.dst, tos=packet.tos, ttl=packet.ttl)
+
+
+@dataclass(frozen=True)
+class IcmpMessage:
+    """An ICMP time-exceeded (type 11 / ICMPv6 type 3) error message."""
+
+    router_address: str
+    router_asn: int
+    router_name: str
+    hop_index: int  # 0-based position of the responding router on the path
+    quote: QuotedPacket

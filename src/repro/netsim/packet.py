@@ -1,0 +1,145 @@
+"""IP packet model with UDP/TCP payloads.
+
+Only the fields the measurements observe are modelled, but those are
+modelled exactly: the ToS / traffic-class byte (DSCP + ECN bits), TTL /
+hop limit, addresses, ports, and TCP flags.  Payloads carry structured
+transport objects (QUIC packets, TCP segments, HTTP bodies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.core.codepoints import ECN, ecn_from_tos, tos_with_ecn
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """5-tuple used for ECMP hashing and connection demultiplexing."""
+
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    proto: str  # "udp" | "tcp"
+
+    def reversed(self) -> "FlowKey":
+        return FlowKey(self.dst, self.src, self.dport, self.sport, self.proto)
+
+
+@dataclass
+class UdpPayload:
+    """A UDP datagram body; ``data`` is typically a QUIC packet object."""
+
+    sport: int
+    dport: int
+    data: Any
+
+
+@dataclass
+class TcpPayload:
+    """A TCP segment: flags + data (no sequence-number machinery needed)."""
+
+    sport: int
+    dport: int
+    syn: bool = False
+    ack: bool = False
+    fin: bool = False
+    ece: bool = False
+    cwr: bool = False
+    data: Any = None
+
+
+@dataclass
+class IpPacket:
+    """An IPv4/IPv6 packet as it travels hop by hop.
+
+    Routers mutate ``tos`` and ``ttl`` in place on a per-hop copy; use
+    :meth:`clone` for an independent copy (e.g. for ICMP quotes).
+    """
+
+    version: int  # 4 or 6
+    src: str
+    dst: str
+    ttl: int
+    tos: int  # full ToS / traffic-class byte; ECN in the low 2 bits
+    payload: UdpPayload | TcpPayload | Any = None
+    trace_tag: str | None = None  # measurement bookkeeping, not on the wire
+
+    def __post_init__(self) -> None:
+        if self.version not in (4, 6):
+            raise ValueError(f"bad IP version: {self.version}")
+        if not 0 <= self.tos <= 255:
+            raise ValueError(f"bad ToS byte: {self.tos}")
+        if self.ttl < 0:
+            raise ValueError("TTL must be >= 0")
+
+    @property
+    def ecn(self) -> ECN:
+        return ecn_from_tos(self.tos)
+
+    @ecn.setter
+    def ecn(self, codepoint: ECN) -> None:
+        self.tos = tos_with_ecn(self.tos, codepoint)
+
+    @property
+    def flow_key(self) -> FlowKey:
+        if isinstance(self.payload, UdpPayload):
+            return FlowKey(self.src, self.dst, self.payload.sport, self.payload.dport, "udp")
+        if isinstance(self.payload, TcpPayload):
+            return FlowKey(self.src, self.dst, self.payload.sport, self.payload.dport, "tcp")
+        return FlowKey(self.src, self.dst, 0, 0, "raw")
+
+    def clone(self) -> "IpPacket":
+        """A shallow-payload copy safe for header mutation."""
+        payload = self.payload
+        if isinstance(payload, (UdpPayload, TcpPayload)):
+            payload = replace(payload)
+        return IpPacket(
+            version=self.version,
+            src=self.src,
+            dst=self.dst,
+            ttl=self.ttl,
+            tos=self.tos,
+            payload=payload,
+            trace_tag=self.trace_tag,
+        )
+
+
+def make_udp_packet(
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    data: Any,
+    *,
+    version: int = 4,
+    ttl: int = 64,
+    ecn: ECN = ECN.NOT_ECT,
+    dscp: int = 0,
+) -> IpPacket:
+    """Convenience constructor for a UDP/IP packet."""
+    tos = (dscp << 2) | int(ecn)
+    return IpPacket(version, src, dst, ttl, tos, UdpPayload(sport, dport, data))
+
+
+def make_tcp_packet(
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    *,
+    version: int = 4,
+    ttl: int = 64,
+    ecn: ECN = ECN.NOT_ECT,
+    syn: bool = False,
+    ack: bool = False,
+    fin: bool = False,
+    ece: bool = False,
+    cwr: bool = False,
+    data: Any = None,
+) -> IpPacket:
+    """Convenience constructor for a TCP/IP packet."""
+    payload = TcpPayload(sport, dport, syn=syn, ack=ack, fin=fin, ece=ece, cwr=cwr, data=data)
+    return IpPacket(version, src, dst, ttl, int(ecn), payload)

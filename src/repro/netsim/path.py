@@ -1,0 +1,75 @@
+"""Path traversal: TTL handling, per-hop ECN rewrites, ICMP generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.clock import Clock
+from repro.netsim.hops import Router
+from repro.netsim.icmp import IcmpMessage, QuotedPacket
+from repro.netsim.packet import IpPacket
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class TraversalResult:
+    """Outcome of sending one packet down a path.
+
+    Exactly one of ``delivered`` / ``icmp`` / plain loss occurs:
+    ``delivered`` is the packet as it arrived at the destination (with all
+    hop rewrites applied); ``icmp`` is a time-exceeded error when the TTL
+    expired en route; both are None for silent loss.
+    """
+
+    delivered: IpPacket | None = None
+    icmp: IcmpMessage | None = None
+    dropped_at_hop: int | None = None
+
+    @property
+    def lost(self) -> bool:
+        return self.delivered is None and self.icmp is None
+
+
+@dataclass
+class NetworkPath:
+    """An ordered sequence of routers between a vantage point and a host."""
+
+    hops: list[Router]
+    base_loss: float = 0.0  # end-to-end random loss applied before hop losses
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ValueError("a path needs at least one hop")
+
+    @property
+    def length(self) -> int:
+        return len(self.hops)
+
+    def asn_sequence(self) -> list[int]:
+        return [hop.asn for hop in self.hops]
+
+    def traverse(self, packet: IpPacket, clock: Clock, rng: RngStream) -> TraversalResult:
+        """Send ``packet`` down the path; the input object is not mutated."""
+        if self.base_loss > 0 and rng.random() < self.base_loss:
+            return TraversalResult(dropped_at_hop=0)
+        current = packet.clone()
+        for index, hop in enumerate(self.hops):
+            # TTL is checked on arrival at the router (before forwarding).
+            current.ttl -= 1
+            if current.ttl <= 0:
+                if hop.may_send_icmp(clock.now):
+                    quote = QuotedPacket.of(current)
+                    return TraversalResult(
+                        icmp=IcmpMessage(
+                            router_address=hop.address,
+                            router_asn=hop.asn,
+                            router_name=hop.name,
+                            hop_index=index,
+                            quote=quote,
+                        )
+                    )
+                return TraversalResult(dropped_at_hop=index)
+            if hop.drops(current, rng):
+                return TraversalResult(dropped_at_hop=index)
+            hop.apply_ecn_action(current, rng)
+        return TraversalResult(delivered=current)

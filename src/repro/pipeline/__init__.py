@@ -1,0 +1,16 @@
+"""Measurement pipeline: weekly scans, campaigns, distributed vantages."""
+
+from repro.pipeline.campaign import Campaign, run_campaign
+from repro.pipeline.runs import WeeklyRun, run_weekly_scan
+from repro.pipeline.toplists import merged_toplist_domains
+from repro.pipeline.vantage import VantageRun, run_distributed
+
+__all__ = [
+    "Campaign",
+    "run_campaign",
+    "WeeklyRun",
+    "run_weekly_scan",
+    "merged_toplist_domains",
+    "VantageRun",
+    "run_distributed",
+]

@@ -1,0 +1,66 @@
+"""Longitudinal campaigns (the paper's June 2022 – April 2023 series)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.runs import WeeklyRun, run_weekly_scan
+from repro.util.weeks import Week
+from repro.web.world import World
+
+
+@dataclass
+class Campaign:
+    """An ordered series of runs from one vantage point."""
+
+    runs: list[WeeklyRun] = field(default_factory=list)
+
+    def weeks(self) -> list[Week]:
+        return [run.week for run in self.runs]
+
+    def run_at(self, week: Week) -> WeeklyRun:
+        for run in self.runs:
+            if run.week == week:
+                return run
+        raise KeyError(f"no run for {week}")
+
+    def closest_run(self, week: Week) -> WeeklyRun:
+        if not self.runs:
+            raise ValueError("empty campaign")
+        return min(self.runs, key=lambda run: abs(run.week - week))
+
+
+def run_campaign(
+    world: World,
+    *,
+    weeks: list[Week] | None = None,
+    cadence_weeks: int = 4,
+    vantage_id: str = "main-aachen",
+    populations: tuple[str, ...] = ("cno",),
+    run_tracebox: bool = False,
+) -> Campaign:
+    """Scan the world repeatedly over the measurement period.
+
+    By default samples every ``cadence_weeks`` from the campaign start
+    to the reference week — the resolution Figures 3/4/8 need.
+    """
+    if weeks is None:
+        weeks = []
+        week = world.config.start_week
+        while week <= world.config.reference_week:
+            weeks.append(week)
+            week = week + cadence_weeks
+        if weeks[-1] != world.config.reference_week:
+            weeks.append(world.config.reference_week)
+    campaign = Campaign()
+    for week in weeks:
+        campaign.runs.append(
+            run_weekly_scan(
+                world,
+                week,
+                vantage_id,
+                populations=populations,
+                run_tracebox=run_tracebox,
+            )
+        )
+    return campaign

@@ -1,0 +1,158 @@
+"""One weekly measurement run (the paper's Friday scans, §4).
+
+Per-domain results are derived from per-site scans: hosts on one IP
+behave identically (the assumption the paper validates in §4.4 and
+exploits for its cloud measurements), so the simulator scans each IP
+once per week and attributes the outcome to every domain it serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.validation import ValidationOutcome
+from repro.scanner.quic_scan import QuicScanConfig, scan_site_quic
+from repro.scanner.results import DomainObservation, SiteScanRecord
+from repro.scanner.tcp_scan import TcpScanConfig, scan_site_tcp
+from repro.tracebox.classify import TraceSummary, classify_trace
+from repro.tracebox.probe import trace_site
+from repro.tracebox.sampling import TraceSampler
+from repro.util.weeks import Week
+from repro.web.world import Site, World
+
+
+@dataclass
+class WeeklyRun:
+    """All observations of one (week, vantage, IP family) run."""
+
+    week: Week
+    vantage_id: str
+    ip_version: int
+    observations: list[DomainObservation] = field(default_factory=list)
+    site_records: dict[int, SiteScanRecord] = field(default_factory=dict)
+    traces: dict[int, TraceSummary] = field(default_factory=dict)
+    trace_sampler: TraceSampler | None = None
+
+    # ------------------------------------------------------------------
+    def quic_domains(self) -> list[DomainObservation]:
+        return [obs for obs in self.observations if obs.quic_available]
+
+    def observations_for(self, population: str) -> list[DomainObservation]:
+        return [obs for obs in self.observations if obs.population == population]
+
+    def trace_for(self, site_index: int) -> TraceSummary | None:
+        return self.traces.get(site_index)
+
+
+def run_weekly_scan(
+    world: World,
+    week: Week,
+    vantage_id: str = "main-aachen",
+    *,
+    ip_version: int = 4,
+    populations: tuple[str, ...] = ("cno", "toplist"),
+    include_tcp: bool = False,
+    quic_config: QuicScanConfig | None = None,
+    tcp_config: TcpScanConfig | None = None,
+    run_tracebox: bool = False,
+) -> WeeklyRun:
+    """Scan every domain of the selected populations for one week."""
+    quic_config = quic_config or QuicScanConfig(ip_version=ip_version)
+    tcp_config = tcp_config or TcpScanConfig(ip_version=ip_version)
+    run = WeeklyRun(week=week, vantage_id=vantage_id, ip_version=ip_version)
+    quic_cache: dict[int, SiteScanRecord] = run.site_records
+    tcp_done: set[int] = set()
+
+    for domain in world.domains:
+        if domain.population not in populations:
+            continue
+        address = world.resolver.resolve_address(domain.name, family=ip_version)
+        obs = DomainObservation(
+            domain=domain.name,
+            population=domain.population,
+            lists=domain.lists,
+            parked=domain.parked,
+            resolved=address is not None,
+            ip=address,
+        )
+        if address is None:
+            run.observations.append(obs)
+            continue
+        site = world.site_by_ip(address)
+        if site is None:  # defensive: IP without a registered host
+            run.observations.append(obs)
+            continue
+        obs.site_index = site.index
+        asn = world.prefixes.lookup(site.ip)
+        obs.org = world.asorg.org_for(asn)
+
+        policy = world.site_policy(site, vantage_id)
+        wants_quic = (
+            policy.reachable
+            and policy.quic_profile is not None
+            and world.domain_has_quic_listener(domain, week)
+        )
+        if wants_quic:
+            obs.quic_attempted = True
+            record = quic_cache.get(site.index)
+            if record is None:
+                record = SiteScanRecord(site_index=site.index, ip=address)
+                quic_cache[site.index] = record
+            if record.quic is None:
+                record.quic = scan_site_quic(
+                    world,
+                    site,
+                    week,
+                    vantage_id,
+                    quic_config,
+                    authority=f"www.{domain.name}",
+                )
+            obs.quic = record.quic
+        if include_tcp:
+            record = quic_cache.get(site.index)
+            if record is None:
+                record = SiteScanRecord(site_index=site.index, ip=address)
+                quic_cache[site.index] = record
+            if site.index not in tcp_done:
+                tcp_done.add(site.index)
+                record.tcp = scan_site_tcp(
+                    world,
+                    site,
+                    week,
+                    vantage_id,
+                    tcp_config,
+                    authority=f"www.{domain.name}",
+                )
+            obs.tcp = record.tcp
+        run.observations.append(obs)
+
+    if run_tracebox:
+        _run_traces(world, week, vantage_id, ip_version, run)
+    return run
+
+
+def _run_traces(
+    world: World, week: Week, vantage_id: str, ip_version: int, run: WeeklyRun
+) -> None:
+    """Trace the paths of abnormal hosts (per-IP once, 20 % sampling)."""
+    sampler = TraceSampler(week=week)
+    run.trace_sampler = sampler
+    for obs in run.observations:
+        if not _is_abnormal(obs):
+            continue
+        if obs.ip is None or obs.site_index < 0:
+            continue
+        if not sampler.should_trace(obs.ip, obs.domain):
+            continue
+        site = world.sites[obs.site_index]
+        result = trace_site(
+            world, site, week, vantage_id, ip_version=ip_version
+        )
+        run.traces[site.index] = classify_trace(result)
+
+
+def _is_abnormal(obs: DomainObservation) -> bool:
+    """Abnormal transport behaviour triggers a network trace (§4.2)."""
+    if obs.quic is None or not obs.quic.connected:
+        return False
+    return obs.quic.validation_outcome is not ValidationOutcome.CAPABLE

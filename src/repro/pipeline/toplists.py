@@ -1,0 +1,46 @@
+"""Toplist handling: weekly merge + dedup of the four source lists (§4).
+
+Toplists churn week over week (the paper cites Scheitle et al.); the
+model rotates a small share of entries out per week so longitudinal
+toplist counts wobble like the real inputs did.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import stable_hash
+from repro.util.weeks import Week
+from repro.web.world import Domain, World
+
+#: Share of toplist entries rotated out in any given week.
+WEEKLY_CHURN = 0.03
+
+
+def toplist_membership(domain: Domain, list_name: str, week: Week) -> bool:
+    """Is ``domain`` on ``list_name`` in ``week``? (churn-aware)."""
+    if list_name not in domain.lists:
+        return False
+    roll = stable_hash("toplist-churn", list_name, str(week), domain.name) % 10_000
+    return roll >= WEEKLY_CHURN * 10_000
+
+
+def merged_toplist_domains(world: World, week: Week) -> list[Domain]:
+    """The deduplicated union of all four toplists for one week."""
+    merged: list[Domain] = []
+    for domain in world.domains:
+        if domain.population != "toplist":
+            continue
+        if any(toplist_membership(domain, name, week) for name in domain.lists):
+            merged.append(domain)
+    return merged
+
+
+def list_sizes(world: World, week: Week) -> dict[str, int]:
+    """Per-list entry counts for one week (before dedup)."""
+    sizes: dict[str, int] = {}
+    for domain in world.domains:
+        if domain.population != "toplist":
+            continue
+        for name in domain.lists:
+            if toplist_membership(domain, name, week):
+                sizes[name] = sizes.get(name, 0) + 1
+    return sizes

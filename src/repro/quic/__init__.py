@@ -1,0 +1,61 @@
+"""QUIC substrate: wire codecs, versions, frames, client connection.
+
+The codec layer (varint, headers, frames, transport parameters) is a
+genuine byte-level implementation of the RFC 9000 encodings used by the
+measurements — most importantly the ACK frame's ECN count section.  The
+connection layer drives a scan-style exchange (like the paper's modified
+quic-go inside zgrab2) against an emulated server stack across the
+simulated network, with packet-number spaces, one initial retransmission
+and the adapted 5-packet/2-timeout ECN validation budget.
+"""
+
+from repro.quic.connection import QuicClient, QuicClientConfig, QuicConnectionResult
+from repro.quic.frames import (
+    AckFrame,
+    ConnectionCloseFrame,
+    CryptoFrame,
+    HandshakeDoneFrame,
+    PaddingFrame,
+    PingFrame,
+    StreamFrame,
+    decode_frames,
+    encode_frames,
+)
+from repro.quic.packets import (
+    LongHeaderPacket,
+    PacketNumberSpace,
+    PacketType,
+    ShortHeaderPacket,
+    VersionNegotiationPacket,
+    decode_packet,
+    encode_packet,
+)
+from repro.quic.transport_params import TransportParameters
+from repro.quic.varint import decode_varint, encode_varint
+from repro.quic.versions import QuicVersion
+
+__all__ = [
+    "QuicClient",
+    "QuicClientConfig",
+    "QuicConnectionResult",
+    "AckFrame",
+    "ConnectionCloseFrame",
+    "CryptoFrame",
+    "HandshakeDoneFrame",
+    "PaddingFrame",
+    "PingFrame",
+    "StreamFrame",
+    "decode_frames",
+    "encode_frames",
+    "LongHeaderPacket",
+    "PacketNumberSpace",
+    "PacketType",
+    "ShortHeaderPacket",
+    "VersionNegotiationPacket",
+    "decode_packet",
+    "encode_packet",
+    "TransportParameters",
+    "decode_varint",
+    "encode_varint",
+    "QuicVersion",
+]

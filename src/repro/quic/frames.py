@@ -1,0 +1,298 @@
+"""QUIC frames with byte-level encode/decode (RFC 9000 §19).
+
+The frame that matters most to this study is ACK: its 0x03 variant
+carries the three ECN counters the server mirrors back to the client —
+the raw material of QUIC ECN validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.core.counters import EcnCounts
+from repro.quic.varint import decode_varint, encode_varint
+
+FRAME_PADDING = 0x00
+FRAME_PING = 0x01
+FRAME_ACK = 0x02
+FRAME_ACK_ECN = 0x03
+FRAME_CRYPTO = 0x06
+FRAME_STREAM_BASE = 0x08  # 0x08..0x0f with OFF/LEN/FIN bits
+FRAME_CONNECTION_CLOSE = 0x1C
+FRAME_HANDSHAKE_DONE = 0x1E
+
+
+@dataclass(frozen=True)
+class PaddingFrame:
+    """A run of PADDING bytes (each is a zero byte on the wire)."""
+
+    length: int = 1
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("padding length must be >= 1")
+
+
+@dataclass(frozen=True)
+class PingFrame:
+    pass
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """ACK frame; ``ranges`` are inclusive (low, high) packet-number pairs,
+    ordered descending by ``high`` as on the wire.  ``ecn`` is the mirrored
+    counter triple, or None for the 0x02 (no-ECN) variant."""
+
+    ranges: tuple[tuple[int, int], ...]
+    ack_delay: int = 0
+    ecn: EcnCounts | None = None
+
+    def __post_init__(self) -> None:
+        if not self.ranges:
+            raise ValueError("ACK needs at least one range")
+        for low, high in self.ranges:
+            if low > high or low < 0:
+                raise ValueError(f"bad ack range: {(low, high)}")
+
+    @property
+    def largest_acknowledged(self) -> int:
+        return self.ranges[0][1]
+
+    def acked_packet_numbers(self) -> set[int]:
+        acked: set[int] = set()
+        for low, high in self.ranges:
+            acked.update(range(low, high + 1))
+        return acked
+
+    def acknowledges(self, pn: int) -> bool:
+        return any(low <= pn <= high for low, high in self.ranges)
+
+    @classmethod
+    def for_packets(cls, pns: Iterable[int], ecn: EcnCounts | None = None) -> "AckFrame":
+        """Build an ACK covering exactly ``pns`` (arbitrary order)."""
+        ordered = sorted(set(pns))
+        if not ordered:
+            raise ValueError("cannot ACK an empty set")
+        ranges: list[tuple[int, int]] = []
+        start = prev = ordered[0]
+        for pn in ordered[1:]:
+            if pn == prev + 1:
+                prev = pn
+                continue
+            ranges.append((start, prev))
+            start = prev = pn
+        ranges.append((start, prev))
+        ranges.sort(key=lambda r: r[1], reverse=True)
+        return cls(ranges=tuple(ranges), ecn=ecn)
+
+
+@dataclass(frozen=True)
+class CryptoFrame:
+    offset: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class StreamFrame:
+    stream_id: int
+    offset: int
+    data: bytes
+    fin: bool = False
+
+
+@dataclass(frozen=True)
+class ConnectionCloseFrame:
+    error_code: int
+    frame_type: int = 0
+    reason: bytes = b""
+
+
+@dataclass(frozen=True)
+class HandshakeDoneFrame:
+    pass
+
+
+Frame = Union[
+    PaddingFrame,
+    PingFrame,
+    AckFrame,
+    CryptoFrame,
+    StreamFrame,
+    ConnectionCloseFrame,
+    HandshakeDoneFrame,
+]
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def encode_frame(frame: Frame) -> bytes:
+    if isinstance(frame, PaddingFrame):
+        return bytes(frame.length)
+    if isinstance(frame, PingFrame):
+        return bytes([FRAME_PING])
+    if isinstance(frame, AckFrame):
+        return _encode_ack(frame)
+    if isinstance(frame, CryptoFrame):
+        return (
+            bytes([FRAME_CRYPTO])
+            + encode_varint(frame.offset)
+            + encode_varint(len(frame.data))
+            + frame.data
+        )
+    if isinstance(frame, StreamFrame):
+        return _encode_stream(frame)
+    if isinstance(frame, ConnectionCloseFrame):
+        return (
+            bytes([FRAME_CONNECTION_CLOSE])
+            + encode_varint(frame.error_code)
+            + encode_varint(frame.frame_type)
+            + encode_varint(len(frame.reason))
+            + frame.reason
+        )
+    if isinstance(frame, HandshakeDoneFrame):
+        return bytes([FRAME_HANDSHAKE_DONE])
+    raise TypeError(f"cannot encode frame: {frame!r}")
+
+
+def _encode_ack(frame: AckFrame) -> bytes:
+    frame_type = FRAME_ACK_ECN if frame.ecn is not None else FRAME_ACK
+    first_low, first_high = frame.ranges[0]
+    out = bytearray([frame_type])
+    out += encode_varint(first_high)
+    out += encode_varint(frame.ack_delay)
+    out += encode_varint(len(frame.ranges) - 1)
+    out += encode_varint(first_high - first_low)
+    prev_low = first_low
+    for low, high in frame.ranges[1:]:
+        gap = prev_low - high - 2
+        if gap < 0:
+            raise ValueError("ack ranges overlap or are unordered")
+        out += encode_varint(gap)
+        out += encode_varint(high - low)
+        prev_low = low
+    if frame.ecn is not None:
+        out += encode_varint(frame.ecn.ect0)
+        out += encode_varint(frame.ecn.ect1)
+        out += encode_varint(frame.ecn.ce)
+    return bytes(out)
+
+
+def _encode_stream(frame: StreamFrame) -> bytes:
+    frame_type = FRAME_STREAM_BASE | 0x02  # LEN always present
+    if frame.offset:
+        frame_type |= 0x04
+    if frame.fin:
+        frame_type |= 0x01
+    out = bytearray([frame_type])
+    out += encode_varint(frame.stream_id)
+    if frame.offset:
+        out += encode_varint(frame.offset)
+    out += encode_varint(len(frame.data))
+    out += frame.data
+    return bytes(out)
+
+
+def encode_frames(frames: Iterable[Frame]) -> bytes:
+    return b"".join(encode_frame(f) for f in frames)
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def decode_frames(data: bytes) -> list[Frame]:
+    """Decode a packet payload into its frame sequence."""
+    frames: list[Frame] = []
+    offset = 0
+    while offset < len(data):
+        frame, offset = _decode_one(data, offset)
+        # Coalesce padding runs like real stacks do when logging.
+        if (
+            isinstance(frame, PaddingFrame)
+            and frames
+            and isinstance(frames[-1], PaddingFrame)
+        ):
+            frames[-1] = PaddingFrame(frames[-1].length + frame.length)
+        else:
+            frames.append(frame)
+    return frames
+
+
+def _decode_one(data: bytes, offset: int) -> tuple[Frame, int]:
+    frame_type = data[offset]
+    offset += 1
+    if frame_type == FRAME_PADDING:
+        return PaddingFrame(1), offset
+    if frame_type == FRAME_PING:
+        return PingFrame(), offset
+    if frame_type in (FRAME_ACK, FRAME_ACK_ECN):
+        return _decode_ack(data, offset, with_ecn=frame_type == FRAME_ACK_ECN)
+    if frame_type == FRAME_CRYPTO:
+        crypto_offset, offset = decode_varint(data, offset)
+        length, offset = decode_varint(data, offset)
+        payload = data[offset : offset + length]
+        if len(payload) != length:
+            raise ValueError("CRYPTO frame truncated")
+        return CryptoFrame(crypto_offset, payload), offset + length
+    if FRAME_STREAM_BASE <= frame_type <= FRAME_STREAM_BASE | 0x07:
+        return _decode_stream(data, offset, frame_type)
+    if frame_type == FRAME_CONNECTION_CLOSE:
+        error_code, offset = decode_varint(data, offset)
+        inner_type, offset = decode_varint(data, offset)
+        length, offset = decode_varint(data, offset)
+        reason = data[offset : offset + length]
+        if len(reason) != length:
+            raise ValueError("CONNECTION_CLOSE truncated")
+        return ConnectionCloseFrame(error_code, inner_type, reason), offset + length
+    if frame_type == FRAME_HANDSHAKE_DONE:
+        return HandshakeDoneFrame(), offset
+    raise ValueError(f"unknown frame type: 0x{frame_type:02x}")
+
+
+def _decode_ack(data: bytes, offset: int, with_ecn: bool) -> tuple[AckFrame, int]:
+    largest, offset = decode_varint(data, offset)
+    ack_delay, offset = decode_varint(data, offset)
+    range_count, offset = decode_varint(data, offset)
+    first_range, offset = decode_varint(data, offset)
+    high = largest
+    low = largest - first_range
+    if low < 0:
+        raise ValueError("ACK first range underflows")
+    ranges = [(low, high)]
+    for _ in range(range_count):
+        gap, offset = decode_varint(data, offset)
+        length, offset = decode_varint(data, offset)
+        high = low - gap - 2
+        low = high - length
+        if low < 0:
+            raise ValueError("ACK range underflows")
+        ranges.append((low, high))
+    ecn = None
+    if with_ecn:
+        ect0, offset = decode_varint(data, offset)
+        ect1, offset = decode_varint(data, offset)
+        ce, offset = decode_varint(data, offset)
+        ecn = EcnCounts(ect0, ect1, ce)
+    return AckFrame(ranges=tuple(ranges), ack_delay=ack_delay, ecn=ecn), offset
+
+
+def _decode_stream(data: bytes, offset: int, frame_type: int) -> tuple[StreamFrame, int]:
+    has_offset = bool(frame_type & 0x04)
+    has_length = bool(frame_type & 0x02)
+    fin = bool(frame_type & 0x01)
+    stream_id, offset = decode_varint(data, offset)
+    stream_offset = 0
+    if has_offset:
+        stream_offset, offset = decode_varint(data, offset)
+    if has_length:
+        length, offset = decode_varint(data, offset)
+        payload = data[offset : offset + length]
+        if len(payload) != length:
+            raise ValueError("STREAM frame truncated")
+        offset += length
+    else:
+        payload = data[offset:]
+        offset = len(data)
+    return StreamFrame(stream_id, stream_offset, payload, fin=fin), offset

@@ -1,0 +1,226 @@
+"""QUIC packet headers: long, short, and version negotiation (RFC 9000 §17).
+
+No packet protection is applied — the study observes IP-level ECN bits
+and plaintext-equivalent ACK counters, so encryption would only obscure
+the code.  Headers and payloads still use the exact wire layout, which
+lets tracebox quotes and the codec tests work on real bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.quic.frames import Frame, decode_frames, encode_frames
+from repro.quic.varint import decode_varint, encode_varint
+from repro.quic.versions import QuicVersion
+
+HEADER_FORM_LONG = 0x80
+FIXED_BIT = 0x40
+
+
+class PacketType(enum.Enum):
+    INITIAL = 0x0
+    ZERO_RTT = 0x1
+    HANDSHAKE = 0x2
+    RETRY = 0x3
+    ONE_RTT = "1rtt"
+    VERSION_NEGOTIATION = "vn"
+
+
+class PacketNumberSpace(enum.Enum):
+    """The three packet-number spaces; ECN counts are kept per space."""
+
+    INITIAL = "initial"
+    HANDSHAKE = "handshake"
+    APPLICATION = "application"
+
+
+SPACE_FOR_TYPE = {
+    PacketType.INITIAL: PacketNumberSpace.INITIAL,
+    PacketType.HANDSHAKE: PacketNumberSpace.HANDSHAKE,
+    PacketType.ONE_RTT: PacketNumberSpace.APPLICATION,
+    PacketType.ZERO_RTT: PacketNumberSpace.APPLICATION,
+}
+
+
+@dataclass(frozen=True)
+class LongHeaderPacket:
+    """Initial / Handshake / 0-RTT packet."""
+
+    packet_type: PacketType
+    version: QuicVersion
+    dcid: bytes
+    scid: bytes
+    packet_number: int
+    frames: tuple[Frame, ...]
+    token: bytes = b""  # Initial only
+
+    def __post_init__(self) -> None:
+        if self.packet_type not in (
+            PacketType.INITIAL,
+            PacketType.HANDSHAKE,
+            PacketType.ZERO_RTT,
+        ):
+            raise ValueError(f"not a long-header data type: {self.packet_type}")
+        if self.token and self.packet_type is not PacketType.INITIAL:
+            raise ValueError("only Initial packets carry a token")
+
+    @property
+    def pn_space(self) -> PacketNumberSpace:
+        return SPACE_FOR_TYPE[self.packet_type]
+
+
+@dataclass(frozen=True)
+class ShortHeaderPacket:
+    """1-RTT packet."""
+
+    dcid: bytes
+    packet_number: int
+    frames: tuple[Frame, ...]
+
+    @property
+    def packet_type(self) -> PacketType:
+        return PacketType.ONE_RTT
+
+    @property
+    def pn_space(self) -> PacketNumberSpace:
+        return PacketNumberSpace.APPLICATION
+
+
+@dataclass(frozen=True)
+class VersionNegotiationPacket:
+    """Sent by servers that do not support the client's offered version."""
+
+    dcid: bytes
+    scid: bytes
+    supported_versions: tuple[QuicVersion, ...]
+
+    @property
+    def packet_type(self) -> PacketType:
+        return PacketType.VERSION_NEGOTIATION
+
+
+QuicPacket = Union[LongHeaderPacket, ShortHeaderPacket, VersionNegotiationPacket]
+
+
+def _pn_length(pn: int) -> int:
+    if pn < 1 << 8:
+        return 1
+    if pn < 1 << 16:
+        return 2
+    if pn < 1 << 24:
+        return 3
+    return 4
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def encode_packet(packet: QuicPacket) -> bytes:
+    if isinstance(packet, VersionNegotiationPacket):
+        out = bytearray([HEADER_FORM_LONG])
+        out += (0).to_bytes(4, "big")
+        out += bytes([len(packet.dcid)]) + packet.dcid
+        out += bytes([len(packet.scid)]) + packet.scid
+        for version in packet.supported_versions:
+            out += int(version).to_bytes(4, "big")
+        return bytes(out)
+    if isinstance(packet, LongHeaderPacket):
+        pn_len = _pn_length(packet.packet_number)
+        first = HEADER_FORM_LONG | FIXED_BIT
+        first |= packet.packet_type.value << 4
+        first |= pn_len - 1
+        out = bytearray([first])
+        out += int(packet.version).to_bytes(4, "big")
+        out += bytes([len(packet.dcid)]) + packet.dcid
+        out += bytes([len(packet.scid)]) + packet.scid
+        if packet.packet_type is PacketType.INITIAL:
+            out += encode_varint(len(packet.token)) + packet.token
+        payload = encode_frames(packet.frames)
+        out += encode_varint(pn_len + len(payload))
+        out += packet.packet_number.to_bytes(pn_len, "big")
+        out += payload
+        return bytes(out)
+    if isinstance(packet, ShortHeaderPacket):
+        pn_len = _pn_length(packet.packet_number)
+        first = FIXED_BIT | (pn_len - 1)
+        out = bytearray([first])
+        out += packet.dcid
+        out += packet.packet_number.to_bytes(pn_len, "big")
+        out += encode_frames(packet.frames)
+        return bytes(out)
+    raise TypeError(f"cannot encode packet: {packet!r}")
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def decode_packet(data: bytes, *, dcid_len: int = 8) -> QuicPacket:
+    """Decode one packet.  Short headers need the connection's DCID length."""
+    if not data:
+        raise ValueError("empty packet")
+    first = data[0]
+    if first & HEADER_FORM_LONG:
+        return _decode_long(data)
+    return _decode_short(data, dcid_len)
+
+
+def _decode_long(data: bytes) -> QuicPacket:
+    first = data[0]
+    version_raw = int.from_bytes(data[1:5], "big")
+    offset = 5
+    dcid_len = data[offset]
+    offset += 1
+    dcid = data[offset : offset + dcid_len]
+    offset += dcid_len
+    scid_len = data[offset]
+    offset += 1
+    scid = data[offset : offset + scid_len]
+    offset += scid_len
+    if version_raw == 0:
+        versions = []
+        while offset + 4 <= len(data):
+            versions.append(QuicVersion(int.from_bytes(data[offset : offset + 4], "big")))
+            offset += 4
+        return VersionNegotiationPacket(dcid, scid, tuple(versions))
+    version = QuicVersion(version_raw)
+    packet_type = PacketType((first >> 4) & 0x3)
+    token = b""
+    if packet_type is PacketType.INITIAL:
+        token_len, offset = decode_varint(data, offset)
+        token = data[offset : offset + token_len]
+        offset += token_len
+    length, offset = decode_varint(data, offset)
+    pn_len = (first & 0x3) + 1
+    pn = int.from_bytes(data[offset : offset + pn_len], "big")
+    offset += pn_len
+    payload = data[offset : offset + length - pn_len]
+    if len(payload) != length - pn_len:
+        raise ValueError("long header payload truncated")
+    return LongHeaderPacket(
+        packet_type=packet_type,
+        version=version,
+        dcid=dcid,
+        scid=scid,
+        packet_number=pn,
+        frames=tuple(decode_frames(payload)),
+        token=token,
+    )
+
+
+def _decode_short(data: bytes, dcid_len: int) -> ShortHeaderPacket:
+    first = data[0]
+    if not first & FIXED_BIT:
+        raise ValueError("fixed bit not set")
+    pn_len = (first & 0x3) + 1
+    dcid = data[1 : 1 + dcid_len]
+    offset = 1 + dcid_len
+    pn = int.from_bytes(data[offset : offset + pn_len], "big")
+    offset += pn_len
+    return ShortHeaderPacket(
+        dcid=dcid,
+        packet_number=pn,
+        frames=tuple(decode_frames(data[offset:])),
+    )

@@ -1,0 +1,49 @@
+"""RFC 9000 §16 variable-length integer encoding.
+
+Two most-significant bits of the first byte select the length
+(1/2/4/8 bytes); the remaining bits carry the value big-endian.
+"""
+
+from __future__ import annotations
+
+MAX_VARINT = (1 << 62) - 1
+
+_LENGTH_BY_PREFIX = {0b00: 1, 0b01: 2, 0b10: 4, 0b11: 8}
+
+
+def varint_length(value: int) -> int:
+    """Number of bytes the encoding of ``value`` occupies."""
+    if value < 0 or value > MAX_VARINT:
+        raise ValueError(f"varint out of range: {value}")
+    if value < 1 << 6:
+        return 1
+    if value < 1 << 14:
+        return 2
+    if value < 1 << 30:
+        return 4
+    return 8
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode ``value`` as an RFC 9000 varint."""
+    length = varint_length(value)
+    prefix = {1: 0b00, 2: 0b01, 4: 0b10, 8: 0b11}[length]
+    raw = value.to_bytes(length, "big")
+    return bytes([raw[0] | (prefix << 6)]) + raw[1:]
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``data`` at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    if offset >= len(data):
+        raise ValueError("varint truncated: empty input")
+    first = data[offset]
+    length = _LENGTH_BY_PREFIX[first >> 6]
+    if offset + length > len(data):
+        raise ValueError("varint truncated")
+    value = first & 0x3F
+    for i in range(1, length):
+        value = (value << 8) | data[offset + i]
+    return value, offset + length

@@ -1,0 +1,20 @@
+"""Emulations of the QUIC server stacks observed in the wild.
+
+Each stack is a :class:`~repro.quicstacks.base.QuicServerStack` driven by
+a :class:`~repro.quicstacks.base.StackBehavior` that a registry resolves
+per measurement week — so LiteSpeed hosts change from draft-27-with-ECN
+to v1-without-ECN to v1-with-ECN exactly on the timeline the paper
+reconstructs (§5.3), and Google's proxy fleet switches mirroring on
+during its Jan/Mar 2023 experiments.
+"""
+
+from repro.quicstacks.base import MirrorQuirk, QuicServerStack, StackBehavior
+from repro.quicstacks.registry import StackRegistry, default_registry
+
+__all__ = [
+    "MirrorQuirk",
+    "QuicServerStack",
+    "StackBehavior",
+    "StackRegistry",
+    "default_registry",
+]

@@ -1,0 +1,325 @@
+"""Registry resolving stack-profile keys to week-specific behaviours.
+
+The timeline constants encode the events the paper reconstructs in §5.3:
+
+* LiteSpeed fleets upgraded from draft-27 (which mirrored ECN) to QUIC v1
+  builds without ECN support around autumn 2022, and lsquic 4.0
+  (released 2023-03-08, ~week 10) re-enabled mirroring — correctly for
+  instances with the ECN flag on, and with the packet-number-space bug
+  (undercounting) for instances with the flag off.
+* Google's quiche showed ECN experiments in January (week 3) and March
+  (week 9) 2023; its wix.com reverse proxy ("Pepyaka" behind
+  ``via: 1.1 google``) began mirroring while Google's own properties
+  never did.
+* Amazon CloudFront enabled HTTP/3 (s2n-quic, correct ECN + use) in
+  August 2022 (~week 32).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.quic.transport_params import (
+    AMAZON_PARAMS,
+    CLOUDFLARE_PARAMS,
+    GENERIC_PARAMS,
+    GOOGLE_PARAMS,
+    LITESPEED_PARAMS,
+)
+from repro.quic.versions import QuicVersion
+from repro.quicstacks.base import MirrorQuirk, StackBehavior
+from repro.util.weeks import Week
+
+# Timeline anchors (see module docstring).
+LITESPEED_V1_UPGRADE = Week(2022, 35)
+LITESPEED_LATE_UPGRADE = Week(2023, 11)
+LSQUIC_40_RELEASE = Week(2023, 10)
+GOOGLE_TEST_EARLY = Week(2023, 3)
+GOOGLE_TEST_MAIN = Week(2023, 9)
+CLOUDFRONT_H3_LAUNCH = Week(2022, 32)
+MISC_CORRECT_START = Week(2022, 45)
+
+BehaviorFactory = Callable[[Week], StackBehavior]
+
+
+class StackRegistry:
+    """Maps stack-profile keys to week-resolved behaviours."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, BehaviorFactory] = {}
+
+    def register(self, key: str, factory: BehaviorFactory) -> None:
+        if key in self._factories:
+            raise ValueError(f"duplicate stack profile: {key}")
+        self._factories[key] = factory
+
+    def behavior(self, key: str, week: Week) -> StackBehavior:
+        try:
+            factory = self._factories[key]
+        except KeyError:
+            raise KeyError(f"unknown stack profile: {key}") from None
+        return factory(week)
+
+    def keys(self) -> list[str]:
+        return sorted(self._factories)
+
+
+# ----------------------------------------------------------------------
+# LiteSpeed (lsquic)
+# ----------------------------------------------------------------------
+def _lsquic(
+    week: Week,
+    *,
+    upgrade_week: Week | None,
+    flag_on: bool,
+    gone_after_upgrade: bool = False,
+    header: str | None = "LiteSpeed",
+) -> StackBehavior:
+    """Shared lsquic timeline: d27 (mirrors) -> v1 (no ECN) -> 4.0."""
+    base = StackBehavior(
+        stack_label="lsquic",
+        server_header=header,
+        transport_params=LITESPEED_PARAMS,
+    )
+    if upgrade_week is None or week < upgrade_week:
+        # Draft-27-era lsquic mirrored ECN, but with the packet-number-
+        # space bug already present: counters appear during the handshake
+        # and vanish on 1-RTT — visible mirroring, failed validation.
+        return StackBehavior(
+            stack_label="lsquic",
+            version=QuicVersion.DRAFT_27,
+            server_header=header,
+            transport_params=LITESPEED_PARAMS,
+            mirror_quirk=MirrorQuirk.PN_SPACE_RESET,
+        )
+    if gone_after_upgrade:
+        return StackBehavior(
+            stack_label="lsquic",
+            server_header=header,
+            transport_params=LITESPEED_PARAMS,
+            quic_enabled=False,
+        )
+    if week < LSQUIC_40_RELEASE:
+        return base  # v1, no ECN mirroring before 4.0
+    quirk = MirrorQuirk.CORRECT if flag_on else MirrorQuirk.PN_SPACE_RESET
+    return base.with_quirk(quirk)
+
+
+def _lsquic_v1(
+    week: Week,
+    *,
+    flag_on: bool,
+    header: str | None = "LiteSpeed",
+    use_ecn: bool = False,
+) -> StackBehavior:
+    """Fleets that were already on v1: no ECN until 4.0, then flag-split.
+
+    ``use_ecn`` turns on ECT marking of the server's own packets once the
+    4.0 build is deployed (ECN *use* is independent of mirroring, §5.1).
+    """
+    if week < LSQUIC_40_RELEASE:
+        return StackBehavior(
+            stack_label="lsquic",
+            server_header=header,
+            transport_params=LITESPEED_PARAMS,
+        )
+    quirk = MirrorQuirk.CORRECT if flag_on else MirrorQuirk.PN_SPACE_RESET
+    return StackBehavior(
+        stack_label="lsquic",
+        server_header=header,
+        transport_params=LITESPEED_PARAMS,
+        mirror_quirk=quirk,
+        use_ecn=use_ecn,
+    )
+
+
+# ----------------------------------------------------------------------
+# Google quiche / Pepyaka proxy
+# ----------------------------------------------------------------------
+def _pepyaka(week: Week, *, start: Week, quirk: MirrorQuirk) -> StackBehavior:
+    base = StackBehavior(
+        stack_label="google-quiche",
+        server_header="Pepyaka",
+        via_header="1.1 google",
+        transport_params=GOOGLE_PARAMS,
+    )
+    if week < start:
+        return base
+    return base.with_quirk(quirk)
+
+
+def _default_factories() -> dict[str, BehaviorFactory]:
+    return {
+        # -- LiteSpeed fleets ------------------------------------------
+        "lsquic-d27-stay": lambda week: _lsquic(week, upgrade_week=None, flag_on=True),
+        "lsquic-d27-late-upgrade": lambda week: _lsquic(
+            week, upgrade_week=LITESPEED_LATE_UPGRADE, flag_on=False
+        ),
+        "lsquic-d27-upgrade-flagoff": lambda week: _lsquic(
+            week, upgrade_week=LITESPEED_V1_UPGRADE, flag_on=False
+        ),
+        "lsquic-d27-upgrade-flagon": lambda week: _lsquic(
+            week, upgrade_week=LITESPEED_V1_UPGRADE, flag_on=True
+        ),
+        "lsquic-d27-gone": lambda week: _lsquic(
+            week, upgrade_week=LITESPEED_V1_UPGRADE, flag_on=False, gone_after_upgrade=True
+        ),
+        "lsquic-v1-flagoff": lambda week: _lsquic_v1(week, flag_on=False),
+        "lsquic-v1-flagon": lambda week: _lsquic_v1(week, flag_on=True),
+        "lsquic-v1-flagoff-use": lambda week: _lsquic_v1(
+            week, flag_on=False, use_ecn=True
+        ),
+        "lsquic-v1-flagon-use": lambda week: _lsquic_v1(
+            week, flag_on=True, use_ecn=True
+        ),
+        "lsquic-v1-flagoff-noheader": lambda week: _lsquic_v1(
+            week, flag_on=False, header=None
+        ),
+        "lsquic-v1-flagoff-noheader-use": lambda week: _lsquic_v1(
+            week, flag_on=False, header=None, use_ecn=True
+        ),
+        "lsquic-v1-noecn": lambda week: StackBehavior(
+            stack_label="lsquic",
+            server_header="LiteSpeed",
+            transport_params=LITESPEED_PARAMS,
+        ),
+        "lsquic-v1-noecn-noheader": lambda week: StackBehavior(
+            stack_label="lsquic",
+            server_header=None,
+            transport_params=LITESPEED_PARAMS,
+        ),
+        # -- Google ----------------------------------------------------
+        "google-own": lambda week: StackBehavior(
+            stack_label="google-quiche",
+            server_header="gws",
+            transport_params=GOOGLE_PARAMS,
+        ),
+        "pepyaka-noecn": lambda week: StackBehavior(
+            stack_label="google-quiche",
+            server_header="Pepyaka",
+            via_header="1.1 google",
+            transport_params=GOOGLE_PARAMS,
+        ),
+        "pepyaka-undercount-early": lambda week: _pepyaka(
+            week, start=GOOGLE_TEST_EARLY, quirk=MirrorQuirk.HALVED
+        ),
+        "pepyaka-undercount": lambda week: _pepyaka(
+            week, start=GOOGLE_TEST_MAIN, quirk=MirrorQuirk.HALVED
+        ),
+        "pepyaka-remark": lambda week: _pepyaka(
+            week, start=GOOGLE_TEST_MAIN, quirk=MirrorQuirk.SWAPPED
+        ),
+        "google-india-allce": lambda week: StackBehavior(
+            stack_label="google-quiche",
+            server_header="gws",
+            transport_params=GOOGLE_PARAMS,
+            mirror_quirk=MirrorQuirk.ALL_CE,
+        ),
+        "google-india-undercount": lambda week: StackBehavior(
+            stack_label="google-quiche",
+            server_header="gws",
+            transport_params=GOOGLE_PARAMS,
+            mirror_quirk=MirrorQuirk.HALVED,
+        ),
+        # -- CDNs without ECN ------------------------------------------
+        "cloudflare": lambda week: StackBehavior(
+            stack_label="cloudflare-quiche",
+            server_header="cloudflare",
+            transport_params=CLOUDFLARE_PARAMS,
+        ),
+        "fastly": lambda week: StackBehavior(
+            stack_label="quicly",
+            server_header="Fastly",
+            transport_params=GENERIC_PARAMS,
+        ),
+        # -- Amazon CloudFront (s2n-quic) ------------------------------
+        "s2n-quic": lambda week: StackBehavior(
+            stack_label="s2n-quic",
+            server_header="CloudFront",
+            transport_params=AMAZON_PARAMS,
+            mirror_quirk=MirrorQuirk.CORRECT,
+            use_ecn=True,
+            quic_enabled=week >= CLOUDFRONT_H3_LAUNCH,
+        ),
+        # -- Generic stacks --------------------------------------------
+        "generic-correct": lambda week: StackBehavior(
+            stack_label="generic",
+            server_header="nginx",
+            mirror_quirk=(
+                MirrorQuirk.CORRECT if week >= MISC_CORRECT_START else MirrorQuirk.NONE
+            ),
+            use_ecn=week >= MISC_CORRECT_START,
+        ),
+        "generic-correct-nouse": lambda week: StackBehavior(
+            stack_label="generic",
+            server_header="nginx",
+            mirror_quirk=(
+                MirrorQuirk.CORRECT if week >= MISC_CORRECT_START else MirrorQuirk.NONE
+            ),
+        ),
+        "generic-correct-always": lambda week: StackBehavior(
+            stack_label="generic",
+            server_header="nginx",
+            mirror_quirk=MirrorQuirk.CORRECT,
+            use_ecn=True,
+        ),
+        "generic-correct-always-nouse": lambda week: StackBehavior(
+            stack_label="generic",
+            server_header="nginx",
+            mirror_quirk=MirrorQuirk.CORRECT,
+        ),
+        "generic-noecn": lambda week: StackBehavior(
+            stack_label="generic",
+            server_header="nginx",
+        ),
+        "generic-noecn-use": lambda week: StackBehavior(
+            stack_label="generic",
+            server_header="nginx",
+            use_ecn=True,
+        ),
+        "generic-d29-noecn": lambda week: StackBehavior(
+            stack_label="generic",
+            version=QuicVersion.DRAFT_29,
+            server_header="nginx",
+        ),
+        "generic-d34-noecn": lambda week: StackBehavior(
+            stack_label="generic",
+            version=QuicVersion.DRAFT_34,
+            server_header="nginx",
+        ),
+        "generic-d29-mirror": lambda week: StackBehavior(
+            stack_label="generic",
+            version=QuicVersion.DRAFT_29,
+            server_header="nginx",
+            mirror_quirk=MirrorQuirk.CORRECT,
+        ),
+        "generic-d34-mirror": lambda week: StackBehavior(
+            stack_label="generic",
+            version=QuicVersion.DRAFT_34,
+            server_header="nginx",
+            mirror_quirk=MirrorQuirk.CORRECT,
+        ),
+        # -- Pathological stacks (tests, failure injection) ------------
+        "buggy-nonmonotonic": lambda week: StackBehavior(
+            stack_label="buggy",
+            server_header="buggy",
+            mirror_quirk=MirrorQuirk.DECREASING,
+        ),
+        "confused-ect1": lambda week: StackBehavior(
+            stack_label="confused",
+            server_header="nginx",
+            mirror_quirk=MirrorQuirk.SWAPPED,
+        ),
+        "no-quic": lambda week: StackBehavior(
+            stack_label="none",
+            quic_enabled=False,
+        ),
+    }
+
+
+def default_registry() -> StackRegistry:
+    """The registry with every stack profile the world model references."""
+    registry = StackRegistry()
+    for key, factory in _default_factories().items():
+        registry.register(key, factory)
+    return registry

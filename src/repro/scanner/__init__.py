@@ -1,0 +1,16 @@
+"""zgrab2-analogue scanner: QUIC HTTP/3 and TCP HTTP ECN scans."""
+
+from repro.scanner.quic_scan import QuicScanConfig, scan_site_quic
+from repro.scanner.results import DomainObservation, SiteScanRecord
+from repro.scanner.tcp_scan import TcpScanConfig, scan_site_tcp
+from repro.scanner.wire import ScanWire
+
+__all__ = [
+    "QuicScanConfig",
+    "scan_site_quic",
+    "DomainObservation",
+    "SiteScanRecord",
+    "TcpScanConfig",
+    "scan_site_tcp",
+    "ScanWire",
+]

@@ -1,0 +1,85 @@
+"""Scan result records (what the adapted zgrab2 logged per target)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.terminology import EcnSupport
+from repro.core.validation import ValidationOutcome
+from repro.quic.connection import QuicConnectionResult
+from repro.tcp.client import TcpScanOutcome
+
+
+@dataclass
+class SiteScanRecord:
+    """Per-server-IP scan outcome (hosts behave per IP, §4.3)."""
+
+    site_index: int
+    ip: str
+    quic: QuicConnectionResult | None = None
+    tcp: TcpScanOutcome | None = None
+    traced: bool = False
+
+
+@dataclass
+class DomainObservation:
+    """Everything one weekly scan learned about one domain."""
+
+    domain: str
+    population: str  # "cno" | "toplist"
+    lists: tuple[str, ...]
+    parked: bool
+    resolved: bool
+    ip: str | None = None
+    org: str = "<unknown>"
+    site_index: int = -1
+    quic_attempted: bool = False
+    quic: QuicConnectionResult | None = None
+    tcp: TcpScanOutcome | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def quic_available(self) -> bool:
+        return self.quic is not None and self.quic.connected
+
+    @property
+    def mirroring(self) -> bool:
+        return self.quic is not None and self.quic.mirroring
+
+    @property
+    def uses_ecn(self) -> bool:
+        return self.quic is not None and self.quic.server_set_ect
+
+    @property
+    def validation_outcome(self) -> ValidationOutcome | None:
+        if self.quic is None:
+            return None
+        return self.quic.validation_outcome
+
+    @property
+    def support(self) -> EcnSupport | None:
+        if self.quic is None:
+            return None
+        return EcnSupport(
+            mirroring=self.quic.mirroring,
+            capable=self.quic.validation_outcome is ValidationOutcome.CAPABLE,
+            use=self.quic.server_set_ect,
+        )
+
+    @property
+    def server_label(self) -> str:
+        """Figure 3 grouping: LiteSpeed / Pepyaka / Other / Unknown."""
+        if self.quic is None or not self.quic.connected:
+            return "Unavailable"
+        header = self.quic.server_header
+        if header is None:
+            return "Unknown"
+        if header in ("LiteSpeed", "Pepyaka"):
+            return header
+        return "Other"
+
+    @property
+    def version_label(self) -> str | None:
+        if self.quic is None or self.quic.version is None:
+            return None
+        return self.quic.version.label

@@ -1,0 +1,53 @@
+"""TCP HTTP ECN scan of one server site (§4.1, §6.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.codepoints import ECN
+from repro.http.messages import HttpRequest
+from repro.scanner.wire import ScanWire
+from repro.tcp.client import TcpClientConfig, TcpScanClient, TcpScanOutcome
+from repro.util.weeks import Week
+from repro.web.world import Site, World
+
+
+@dataclass(frozen=True)
+class TcpScanConfig:
+    """TCP scan parameters; CE probing is the §6.3 comparison mode."""
+
+    probe_codepoint: ECN = ECN.CE
+    ip_version: int = 4
+
+
+def scan_site_tcp(
+    world: World,
+    site: Site,
+    week: Week,
+    vantage_id: str = "main-aachen",
+    config: TcpScanConfig | None = None,
+    *,
+    authority: str | None = None,
+) -> TcpScanOutcome:
+    """Run the TCP ECN scan against one site."""
+    config = config or TcpScanConfig()
+    vantage = world.vantages[vantage_id]
+    target_ip = site.ip if config.ip_version == 4 else site.ipv6
+    if target_ip is None:
+        return TcpScanOutcome(error="no address for this family")
+    server = world.tcp_server(site, week, vantage_id)
+    if server is None:
+        world.clock.advance(10.0)
+        return TcpScanOutcome(error="connection timeout")
+    route_key = site.route_key + ("/v6" if config.ip_version == 6 else "")
+    wire = ScanWire(world, vantage_id, route_key, server.handle_segment, week)
+    client = TcpScanClient(
+        wire,
+        TcpClientConfig(
+            probe_codepoint=config.probe_codepoint,
+            source_ip=vantage.source_ip,
+            ip_version=config.ip_version,
+        ),
+    )
+    request = HttpRequest(authority=authority or f"www.{site.route_key.split('/')[0]}.example")
+    return client.fetch(target_ip, request)

@@ -1,0 +1,52 @@
+"""The wire between a scan client and a simulated host.
+
+Forward packets traverse the registered route (where impairing routers
+live); responses are delivered directly — the reverse path is invisible
+to all of the paper's measurements (§6.1), so simulating transforms
+there would only slow things down without observable effect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.netsim.packet import IpPacket
+from repro.util.weeks import Week
+from repro.web.world import World
+
+
+class ScanWire:
+    """Adapts (world, vantage, route, host handler) to the client Wire API."""
+
+    def __init__(
+        self,
+        world: World,
+        vantage_id: str,
+        route_key: str,
+        handler: Callable[[IpPacket], list[IpPacket]],
+        week: Week,
+        *,
+        rtt: float = 0.03,
+        timeout: float = 1.0,
+    ):
+        self.world = world
+        self.vantage_id = vantage_id
+        self.route_key = route_key
+        self.handler = handler
+        self.week = week
+        self.rtt = rtt
+        self.timeout = timeout
+        self.forward_packets = 0
+        self.lost_packets = 0
+
+    def exchange(self, packet: IpPacket) -> list[IpPacket]:
+        """Send one packet; returns the host's responses (possibly none)."""
+        self.forward_packets += 1
+        result = self.world.network.send(self.vantage_id, self.route_key, packet, self.week)
+        if result.delivered is None:
+            # Loss or TTL expiry: the client waits out its timer.
+            self.lost_packets += 1
+            self.world.clock.advance(self.timeout)
+            return []
+        self.world.clock.advance(self.rtt)
+        return self.handler(result.delivered)

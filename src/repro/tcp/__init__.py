@@ -1,0 +1,21 @@
+"""TCP with ECN: negotiation handshake, ECE mirroring, codepoint counters.
+
+Models what the paper's zgrab TCP module observes (§4.1, §6.3): Linux's
+tcpinfo-style ECN negotiation state, an eBPF-equivalent per-codepoint
+counter on inbound packets, and CE-probing (deliberately sending CE
+instead of ECT(0)) to trigger the peer's ECE echo.
+"""
+
+from repro.tcp.client import TcpClientConfig, TcpScanClient, TcpScanOutcome
+from repro.tcp.ebpf import CodepointCounter
+from repro.tcp.profiles import TcpProfile
+from repro.tcp.server import TcpServerStack
+
+__all__ = [
+    "TcpClientConfig",
+    "TcpScanClient",
+    "TcpScanOutcome",
+    "CodepointCounter",
+    "TcpProfile",
+    "TcpServerStack",
+]

@@ -1,0 +1,156 @@
+"""TCP scan client: ECN negotiation + CE probing (paper §4.1 / §6.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.codepoints import ECN
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.netsim.packet import IpPacket, TcpPayload
+from repro.tcp.ebpf import CodepointCounter
+
+HTTPS_PORT = 443
+
+
+class Wire(Protocol):
+    def exchange(self, packet: IpPacket) -> list[IpPacket]:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class TcpClientConfig:
+    """Scan knobs; ``probe_codepoint`` CE reproduces the §6.3 comparison."""
+
+    probe_codepoint: ECN = ECN.CE
+    data_packets: int = 5
+    source_ip: str = "192.0.2.1"
+    source_port: int = 40_000
+    ip_version: int = 4
+    request_ecn_setup: bool = True  # SYN carries ECE+CWR
+
+
+@dataclass
+class TcpScanOutcome:
+    """tcpinfo + eBPF-counter observables of one TCP scan connection."""
+
+    connected: bool = False
+    ecn_negotiated: bool = False
+    ce_mirrored: bool = False  # any inbound segment carried ECE
+    server_set_ect: bool = False
+    response_status: int | None = None
+    server_header: str | None = None
+    inbound: CodepointCounter = field(default_factory=CodepointCounter)
+    error: str | None = None
+
+
+class TcpScanClient:
+    """Performs one HTTP-over-TCP scan against a wire."""
+
+    def __init__(self, wire: Wire, config: TcpClientConfig | None = None):
+        self.wire = wire
+        self.config = config or TcpClientConfig()
+        self.outcome = TcpScanOutcome()
+
+    # ------------------------------------------------------------------
+    def fetch(self, target_ip: str, request: HttpRequest) -> TcpScanOutcome:
+        outcome = self.outcome
+        replies = self._send(
+            target_ip,
+            TcpPayload(
+                sport=self.config.source_port,
+                dport=HTTPS_PORT,
+                syn=True,
+                ece=self.config.request_ecn_setup,
+                cwr=self.config.request_ecn_setup,
+            ),
+            # The SYN itself is never ECT (RFC 3168 §6.1.1).
+            marking=ECN.NOT_ECT,
+        )
+        syn_ack = _find_syn_ack(replies)
+        if syn_ack is None:
+            outcome.error = "no SYN-ACK"
+            return outcome
+        self._observe(replies)
+        outcome.ecn_negotiated = syn_ack.ece
+
+        raw = _encode_request(request)
+        chunk_size = max(1, (len(raw) + self.config.data_packets - 1) // self.config.data_packets)
+        chunks = [raw[i : i + chunk_size] for i in range(0, len(raw), chunk_size)]
+        got_response = False
+        for chunk in chunks:
+            replies = self._send(
+                target_ip,
+                TcpPayload(
+                    sport=self.config.source_port,
+                    dport=HTTPS_PORT,
+                    ack=True,
+                    data=chunk,
+                ),
+                marking=self.config.probe_codepoint,
+            )
+            self._observe(replies)
+            if any(
+                isinstance(r.payload, TcpPayload)
+                and isinstance(r.payload.data, HttpResponse)
+                for r in replies
+            ):
+                got_response = True
+        outcome.connected = got_response
+        if not got_response:
+            outcome.error = "no HTTP response"
+        # Close politely; echo CWR if the server signalled ECE.
+        self._send(
+            target_ip,
+            TcpPayload(
+                sport=self.config.source_port,
+                dport=HTTPS_PORT,
+                ack=True,
+                fin=True,
+                cwr=outcome.ce_mirrored,
+            ),
+            marking=ECN.NOT_ECT,
+        )
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _send(self, target_ip: str, payload: TcpPayload, marking: ECN) -> list[IpPacket]:
+        packet = IpPacket(
+            version=self.config.ip_version,
+            src=self.config.source_ip,
+            dst=target_ip,
+            ttl=64,
+            tos=int(marking),
+            payload=payload,
+        )
+        return self.wire.exchange(packet)
+
+    def _observe(self, replies: list[IpPacket]) -> None:
+        outcome = self.outcome
+        for packet in replies:
+            outcome.inbound.observe(packet)
+            payload = packet.payload
+            if not isinstance(payload, TcpPayload):
+                continue
+            if payload.ece and not payload.syn:
+                outcome.ce_mirrored = True
+            if packet.ecn in (ECN.ECT0, ECN.ECT1):
+                outcome.server_set_ect = True
+            if isinstance(payload.data, HttpResponse):
+                outcome.response_status = payload.data.status
+                outcome.server_header = payload.data.server_product
+
+
+def _find_syn_ack(replies: list[IpPacket]) -> TcpPayload | None:
+    for packet in replies:
+        payload = packet.payload
+        if isinstance(payload, TcpPayload) and payload.syn and payload.ack:
+            return payload
+    return None
+
+
+def _encode_request(request: HttpRequest) -> bytes:
+    lines = [f"{request.method} {request.path} HTTP/1.1", f"host: {request.authority}"]
+    for key, value in request.headers:
+        lines.append(f"{key}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode()

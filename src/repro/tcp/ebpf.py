@@ -1,0 +1,52 @@
+"""eBPF-equivalent inbound codepoint counter.
+
+The paper injects an eBPF program into the TCP socket to count ECN
+codepoints and log TCP flags (§4.1).  This class is the user-space
+equivalent over simulated packets; the QUIC side uses the same counters
+via :class:`repro.core.counters.EcnCounts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.codepoints import ECN
+from repro.netsim.packet import IpPacket, TcpPayload
+
+
+@dataclass
+class CodepointCounter:
+    """Counts inbound IP ECN codepoints and mirrored TCP flags."""
+
+    not_ect: int = 0
+    ect0: int = 0
+    ect1: int = 0
+    ce: int = 0
+    ece_flags: int = 0
+    cwr_flags: int = 0
+
+    def observe(self, packet: IpPacket) -> None:
+        codepoint = packet.ecn
+        if codepoint is ECN.NOT_ECT:
+            self.not_ect += 1
+        elif codepoint is ECN.ECT0:
+            self.ect0 += 1
+        elif codepoint is ECN.ECT1:
+            self.ect1 += 1
+        else:
+            self.ce += 1
+        payload = packet.payload
+        if isinstance(payload, TcpPayload):
+            if payload.ece:
+                self.ece_flags += 1
+            if payload.cwr:
+                self.cwr_flags += 1
+
+    @property
+    def any_ect(self) -> bool:
+        """Did the peer set any ECN-capable codepoint (it *uses* ECN)?"""
+        return (self.ect0 + self.ect1 + self.ce) > 0
+
+    @property
+    def total(self) -> int:
+        return self.not_ect + self.ect0 + self.ect1 + self.ce

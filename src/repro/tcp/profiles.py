@@ -1,0 +1,33 @@
+"""Server-side TCP ECN profiles.
+
+The five behaviours span the groups of the paper's Figure 6 (TCP side):
+negotiation (SYN-ACK carries ECE), CE mirroring (ECE echo on received CE)
+and use (server sets ECT on its own packets) are independent bits in the
+wild, so each combination the paper observed gets a profile.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TcpProfile(enum.Enum):
+    """(negotiates, mirrors CE, uses ECT) combinations seen in Figure 6."""
+
+    FULL = "full"  # negotiates + mirrors CE + sets ECT
+    MIRROR_NO_USE = "mirror_no_use"  # negotiates + mirrors CE, never ECT
+    NEG_ONLY = "neg_only"  # negotiates but ignores CE, never ECT
+    NEG_USE_NO_MIRROR = "neg_use_no_mirror"  # negotiates + ECT, ignores CE
+    NO_ECN = "no_ecn"  # plain TCP: no negotiation at all
+
+    @property
+    def negotiates(self) -> bool:
+        return self is not TcpProfile.NO_ECN
+
+    @property
+    def mirrors_ce(self) -> bool:
+        return self in (TcpProfile.FULL, TcpProfile.MIRROR_NO_USE)
+
+    @property
+    def uses_ect(self) -> bool:
+        return self in (TcpProfile.FULL, TcpProfile.NEG_USE_NO_MIRROR)

@@ -1,0 +1,126 @@
+"""TCP server behaviour per :class:`~repro.tcp.profiles.TcpProfile`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.codepoints import ECN
+from repro.http.messages import HttpResponse
+from repro.netsim.packet import IpPacket, TcpPayload
+from repro.tcp.profiles import TcpProfile
+
+
+@dataclass
+class _TcpConnState:
+    established: bool = False
+    ecn_negotiated: bool = False
+    pending_ece: bool = False  # latched ECE until the peer sends CWR
+    request_buffer: bytearray = field(default_factory=bytearray)
+    responded: bool = False
+
+
+class TcpServerStack:
+    """Responds to a scan's SYN / request segments.
+
+    RFC 3168 semantics: negotiation happens on SYN(ECE+CWR) -> SYN-ACK
+    (ECE); after that, every received CE mark latches ECE on outgoing
+    segments until the peer acknowledges with CWR.
+    """
+
+    def __init__(
+        self,
+        profile: TcpProfile,
+        response_factory: Callable[[bytes], HttpResponse] | None = None,
+    ):
+        self.profile = profile
+        self.response_factory = response_factory or (lambda _raw: HttpResponse())
+        self._conn = _TcpConnState()
+
+    # ------------------------------------------------------------------
+    def handle_segment(self, packet: IpPacket) -> list[IpPacket]:
+        payload = packet.payload
+        if not isinstance(payload, TcpPayload):
+            return []
+        conn = self._conn
+
+        # CE observation: a mirroring server latches ECE (only once the
+        # connection negotiated ECN, as a real stack would).
+        if (
+            conn.ecn_negotiated
+            and self.profile.mirrors_ce
+            and packet.ecn is ECN.CE
+        ):
+            conn.pending_ece = True
+        if payload.cwr and not payload.syn:
+            conn.pending_ece = False
+
+        if payload.syn and not payload.ack:
+            return [self._syn_ack(packet, payload)]
+        if payload.fin:
+            return [self._segment(packet, payload, ack=True, fin=True)]
+        if payload.data is not None:
+            conn.request_buffer += (
+                payload.data if isinstance(payload.data, bytes) else b""
+            )
+            responses = [self._segment(packet, payload, ack=True)]
+            if not conn.responded:
+                conn.responded = True
+                response = self.response_factory(bytes(conn.request_buffer))
+                responses.append(
+                    self._segment(packet, payload, ack=True, data=response)
+                )
+            return responses
+        # Bare ACK
+        return []
+
+    # ------------------------------------------------------------------
+    def _syn_ack(self, packet: IpPacket, payload: TcpPayload) -> IpPacket:
+        conn = self._conn
+        conn.established = True
+        client_requests_ecn = payload.ece and payload.cwr
+        conn.ecn_negotiated = client_requests_ecn and self.profile.negotiates
+        return IpPacket(
+            version=packet.version,
+            src=packet.dst,
+            dst=packet.src,
+            ttl=64,
+            # The SYN-ACK itself must not be ECT (RFC 3168 §6.1.1).
+            tos=int(ECN.NOT_ECT),
+            payload=TcpPayload(
+                sport=payload.dport,
+                dport=payload.sport,
+                syn=True,
+                ack=True,
+                ece=conn.ecn_negotiated,
+            ),
+        )
+
+    def _segment(
+        self,
+        packet: IpPacket,
+        payload: TcpPayload,
+        *,
+        ack: bool = False,
+        fin: bool = False,
+        data: HttpResponse | None = None,
+    ) -> IpPacket:
+        conn = self._conn
+        marking = ECN.NOT_ECT
+        if self.profile.uses_ect and conn.ecn_negotiated and data is not None:
+            marking = ECN.ECT0
+        return IpPacket(
+            version=packet.version,
+            src=packet.dst,
+            dst=packet.src,
+            ttl=64,
+            tos=int(marking),
+            payload=TcpPayload(
+                sport=payload.dport,
+                dport=payload.sport,
+                ack=ack,
+                fin=fin,
+                ece=conn.pending_ece,
+                data=data,
+            ),
+        )

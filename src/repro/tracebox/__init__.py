@@ -1,0 +1,15 @@
+"""Tracebox-style network tracing (§4.2, §6.1, §7.3)."""
+
+from repro.tracebox.classify import PathImpairment, TraceSummary, classify_trace
+from repro.tracebox.probe import HopObservation, TraceResult, trace_site
+from repro.tracebox.sampling import TraceSampler
+
+__all__ = [
+    "PathImpairment",
+    "TraceSummary",
+    "classify_trace",
+    "HopObservation",
+    "TraceResult",
+    "trace_site",
+    "TraceSampler",
+]

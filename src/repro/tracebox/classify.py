@@ -1,0 +1,117 @@
+"""Trace interpretation: impairment class + AS attribution (§6.1, §7.3)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.codepoints import ECN
+from repro.tracebox.probe import TraceResult
+
+
+class PathImpairment(enum.Enum):
+    """What the quote sequence reveals about the forward path."""
+
+    NONE = "none"  # codepoint unchanged along all observed hops
+    CLEARED = "cleared"  # ECT -> not-ECT
+    REMARKED_ECT1 = "remarked_ect1"  # ECT(0) -> ECT(1)
+    REMARK_THEN_ZERO = "remark_then_zero"  # ECT(0) -> ECT(1) -> not-ECT
+    CE_MARKED = "ce_marked"  # ECT -> CE on path (congestion or broken)
+    UNTESTED = "untested"
+
+
+@dataclass(frozen=True)
+class ChangePoint:
+    """One observed codepoint transition between two quoting hops."""
+
+    from_ecn: ECN
+    to_ecn: ECN
+    asn_before: int | None
+    asn_after: int | None
+
+    @property
+    def definite_asn(self) -> int | None:
+        """The culprit AS when both surrounding quotes share an AS."""
+        if self.asn_before is not None and self.asn_before == self.asn_after:
+            return self.asn_before
+        return None
+
+    @property
+    def ambiguous_asns(self) -> tuple[int | None, int | None]:
+        return (self.asn_before, self.asn_after)
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Classification of one trace."""
+
+    impairment: PathImpairment
+    final_ecn: ECN | None
+    changes: tuple[ChangePoint, ...] = ()
+    hops_observed: int = 0
+    aborted: bool = False
+
+    @property
+    def culprit_asn(self) -> int | None:
+        """Definite attribution of the *first* change, if unambiguous."""
+        if not self.changes:
+            return None
+        return self.changes[0].definite_asn
+
+    @property
+    def culprit_candidates(self) -> tuple[int | None, int | None]:
+        if not self.changes:
+            return (None, None)
+        return self.changes[0].ambiguous_asns
+
+
+def classify_trace(result: TraceResult) -> TraceSummary:
+    """Derive impairment class and attribution from one trace."""
+    quotes = result.observed_quotes()
+    sent = result.probe_ecn
+    changes: list[ChangePoint] = []
+    previous_ecn = sent
+    previous_asn: int | None = None
+    for hop in quotes:
+        if hop.quote_ecn is not previous_ecn:
+            changes.append(
+                ChangePoint(
+                    from_ecn=previous_ecn,
+                    to_ecn=hop.quote_ecn,
+                    asn_before=previous_asn,
+                    asn_after=hop.router_asn,
+                )
+            )
+            previous_ecn = hop.quote_ecn
+        previous_asn = hop.router_asn
+    final = quotes[-1].quote_ecn if quotes else None
+    impairment = _impairment_for(sent, final, changes, quotes)
+    return TraceSummary(
+        impairment=impairment,
+        final_ecn=final,
+        changes=tuple(changes),
+        hops_observed=len(quotes),
+        aborted=result.aborted_after_timeouts,
+    )
+
+
+def _impairment_for(
+    sent: ECN,
+    final: ECN | None,
+    changes: list[ChangePoint],
+    quotes,
+) -> PathImpairment:
+    if not quotes:
+        return PathImpairment.UNTESTED
+    if not changes or final is sent:
+        return PathImpairment.NONE
+    saw_ect1 = any(change.to_ecn is ECN.ECT1 for change in changes)
+    if final is ECN.NOT_ECT:
+        if sent.is_ect and saw_ect1 and sent is not ECN.ECT1:
+            return PathImpairment.REMARK_THEN_ZERO
+        return PathImpairment.CLEARED
+    if final is ECN.ECT1 and sent is ECN.ECT0:
+        return PathImpairment.REMARKED_ECT1
+    if final is ECN.CE:
+        return PathImpairment.CE_MARKED
+    return PathImpairment.NONE

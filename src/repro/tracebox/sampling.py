@@ -1,0 +1,41 @@
+"""Trace sampling: every IP at most once, 20 % per-domain trials (§6.1).
+
+Each abnormal domain observation rolls a 20 % die; an IP is traced when
+at least one of its domains' trials hits, and never twice.  CDN IPs that
+serve thousands of domains are therefore almost surely traced while
+sparsely shared IPs often stay untested — reproducing Table 4's
+"Not Tested" column sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import stable_hash
+from repro.util.weeks import Week
+
+
+@dataclass
+class TraceSampler:
+    """Deterministic per-domain trial sampling with per-IP dedup."""
+
+    week: Week
+    probability: float = 0.20
+    _decided: dict[str, bool] = field(default_factory=dict)
+
+    def domain_trial(self, domain_name: str) -> bool:
+        """The 20 % per-domain die (stable across runs)."""
+        roll = stable_hash("tracebox-sample", str(self.week), domain_name) % 10_000
+        return roll < self.probability * 10_000
+
+    def should_trace(self, ip: str, domain_name: str) -> bool:
+        """True exactly once per IP, when a domain trial hits first."""
+        if self._decided.get(ip):
+            return False
+        if self.domain_trial(domain_name):
+            self._decided[ip] = True
+            return True
+        return False
+
+    def was_traced(self, ip: str) -> bool:
+        return self._decided.get(ip, False)

@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG streams, formatting, week calendar."""
+
+from repro.util.fmt import format_count, format_pct
+from repro.util.rng import RngStream, derive_rng
+from repro.util.weeks import Week
+
+__all__ = ["RngStream", "derive_rng", "format_count", "format_pct", "Week"]

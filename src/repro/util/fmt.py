@@ -1,0 +1,27 @@
+"""Paper-style number formatting ("17.30 M", "525.58 k", "5.6 %")."""
+
+from __future__ import annotations
+
+
+def format_count(value: float) -> str:
+    """Format a count the way the paper's tables do.
+
+    >>> format_count(17_300_000)
+    '17.30 M'
+    >>> format_count(525_580)
+    '525.58 k'
+    >>> format_count(42)
+    '42'
+    """
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.2f} M"
+    if value >= 1_000:
+        return f"{value / 1_000:.2f} k"
+    return f"{int(value)}"
+
+
+def format_pct(numerator: float, denominator: float, digits: int = 1) -> str:
+    """Format a share as a percent string; "-" when the base is empty."""
+    if denominator <= 0:
+        return "-"
+    return f"{100.0 * numerator / denominator:.{digits}f} %"

@@ -1,0 +1,29 @@
+"""The synthetic Internet: providers, domains, sites, routes, timeline.
+
+The world builder turns a calibrated set of provider specifications
+(:mod:`repro.web.providers`) into concrete hosts, DNS records, AS data
+and network routes.  Analysis code never reads these specs — it observes
+packets, exactly like the paper's measurement pipeline observed the real
+Internet.
+"""
+
+from repro.web.spec import (
+    HostGroupSpec,
+    ProviderSpec,
+    VantageOverrideSpec,
+    VantageSpec,
+    WorldConfig,
+)
+from repro.web.world import Domain, Site, World, build_world
+
+__all__ = [
+    "HostGroupSpec",
+    "ProviderSpec",
+    "VantageOverrideSpec",
+    "VantageSpec",
+    "WorldConfig",
+    "Domain",
+    "Site",
+    "World",
+    "build_world",
+]

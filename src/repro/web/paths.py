@@ -1,0 +1,280 @@
+"""Route construction: vantage first-mile + transit profile + provider edge.
+
+Path profiles encode the network-side root causes of the paper:
+
+* ``clean-transit``            — no ECN meddling (most paths).
+* ``peering-amazon``           — short, clean peering path (why Amazon
+  passes validation from the main vantage point, §7.2).
+* ``arelion-clear``            — an AS 1299 router zeroes the ECN bits
+  (Server Central, A2 Hosting, Contabo, Sharktech…, §6.1).
+* ``level3-then-arelion``      — clean via Level3 until Dec 2022, then
+  re-routed through the clearing Arelion path (Server Central, §6.1).
+* ``arelion-remark``           — AS 1299 rewrites ECT(0)->ECT(1) between
+  two of its own hops (definite attribution, §7.3).
+* ``arelion-cogent-remark``    — the rewrite happens on the AS 1299 ->
+  AS 174 boundary (ambiguous attribution, §7.3).
+* ``arelion-remark-lb-zero``   — transport flows see re-marking, but the
+  tracebox flow hash often lands on an ECMP sibling that clears instead
+  (the 22.05 k "zeroing although QUIC mirrors ECT(1)" cases).
+* ``arelion-remark-zero-trace``— traces see ECT(0)->ECT(1)->not-ECT
+  (the 16.88 k re-mark-then-zero cases).
+* ``*-v6``                     — IPv6 variants: clearing absent, some
+  re-marking retained (§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.hops import EcnAction, IcmpPolicy, Router
+from repro.netsim.network import PathTemplate
+from repro.netsim.path import NetworkPath
+from repro.web.spec import ProviderSpec, VantageSpec
+
+# Transit AS numbers (real-world values, used as labels).
+AS_DFN = 680
+AS_DTAG = 3320
+AS_ARELION = 1299
+AS_COGENT = 174
+AS_LEVEL3 = 3356
+AS_AWS = 16509
+AS_VULTR = 20473
+
+PATH_PROFILES = (
+    "clean-transit",
+    "peering-amazon",
+    "level3-then-arelion",
+    "arelion-clear",
+    "arelion-remark",
+    "arelion-cogent-remark",
+    "arelion-remark-lb-zero",
+    "arelion-remark-zero-trace",
+    "clean-v6",
+    "arelion-remark-v6",
+)
+
+#: Route-epoch switch for ``level3-then-arelion`` (Server Central, §6.1).
+from repro.util.weeks import Week
+
+LEVEL3_TO_ARELION = Week(2022, 48)
+
+
+@dataclass(frozen=True)
+class BuiltRoute:
+    """Transport + (optional) divergent trace template for one route."""
+
+    transport: PathTemplate
+    trace: PathTemplate | None = None
+
+
+def _router(
+    name: str,
+    asn: int,
+    address: str,
+    action: EcnAction = EcnAction.PASS,
+    *,
+    responds: bool = True,
+) -> Router:
+    return Router(
+        name=name,
+        asn=asn,
+        address=address,
+        ecn_action=action,
+        icmp_policy=IcmpPolicy(responds=responds),
+    )
+
+
+class RouteBuilder:
+    """Builds route templates for (vantage, profile, provider) triples."""
+
+    def __init__(self) -> None:
+        self._addr_counter = 0
+
+    def _addr(self) -> str:
+        self._addr_counter += 1
+        value = self._addr_counter
+        return f"10.{(value >> 16) & 0xFF}.{(value >> 8) & 0xFF}.{value & 0xFF}"
+
+    def _addr6(self) -> str:
+        self._addr_counter += 1
+        return f"2001:db8:ffff::{self._addr_counter:x}"
+
+    # ------------------------------------------------------------------
+    def _first_mile(self, vantage: VantageSpec, v6: bool) -> list[Router]:
+        addr = self._addr6 if v6 else self._addr
+        if vantage.operator == "main":
+            return [
+                _router(f"{vantage.vantage_id}/dfn-core", AS_DFN, addr()),
+                _router(f"{vantage.vantage_id}/dfn-border", AS_DFN, addr()),
+            ]
+        asn = AS_AWS if vantage.operator == "aws" else AS_VULTR
+        return [_router(f"{vantage.vantage_id}/cloud-edge", asn, addr())]
+
+    def _provider_edge(
+        self, vantage: VantageSpec, provider: ProviderSpec, v6: bool, *, responds: bool = True
+    ) -> Router:
+        addr = self._addr6() if v6 else self._addr()
+        return _router(
+            f"{vantage.vantage_id}/{provider.name}-edge",
+            provider.asn,
+            addr,
+            responds=responds,
+        )
+
+    def _arelion_triplet(
+        self, vantage: VantageSpec, action: EcnAction, v6: bool
+    ) -> list[Router]:
+        """Three AS 1299 hops; the middle one rewrites on forwarding, so
+        the change shows between the 2nd and 3rd quote — both Arelion —
+        which is what lets the tracer attribute it definitively."""
+        addr = self._addr6 if v6 else self._addr
+        vid = vantage.vantage_id
+        return [
+            _router(f"{vid}/arelion-a", AS_ARELION, addr()),
+            _router(f"{vid}/arelion-b", AS_ARELION, addr(), action),
+            _router(f"{vid}/arelion-c", AS_ARELION, addr()),
+        ]
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        vantage: VantageSpec,
+        profile: str,
+        provider: ProviderSpec,
+    ) -> dict[str, BuiltRoute]:
+        """Route(s) for one (vantage, profile, provider).
+
+        Returns a mapping of epoch-start keys (``""`` for the initial
+        epoch, ISO week string otherwise) to built routes; callers
+        register each with the corresponding start week.
+        """
+        v6 = profile.endswith("-v6")
+        if profile == "level3-then-arelion":
+            return {
+                "": self._single(self._level3_path(vantage, provider, v6)),
+                str(LEVEL3_TO_ARELION): self._single(
+                    self._arelion_path(vantage, provider, EcnAction.CLEAR_ECN, v6)
+                ),
+            }
+        return {"": self._build_static(vantage, profile, provider, v6)}
+
+    def _build_static(
+        self, vantage: VantageSpec, profile: str, provider: ProviderSpec, v6: bool
+    ) -> BuiltRoute:
+        if profile in ("clean-transit", "clean-v6"):
+            return self._single(self._clean_path(vantage, provider, v6))
+        if profile == "peering-amazon":
+            hops = self._first_mile(vantage, v6)
+            hops.append(self._provider_edge(vantage, provider, v6))
+            return self._single(NetworkPath(hops=hops))
+        if profile in ("arelion-clear",):
+            return self._single(
+                self._arelion_path(vantage, provider, EcnAction.CLEAR_ECN, v6)
+            )
+        if profile in ("arelion-remark", "arelion-remark-v6"):
+            return self._single(
+                self._arelion_path(vantage, provider, EcnAction.REMARK_ECT1, v6)
+            )
+        if profile == "arelion-cogent-remark":
+            return self._single(self._cogent_boundary_path(vantage, provider, v6))
+        if profile == "arelion-remark-lb-zero":
+            transport = self._arelion_path(vantage, provider, EcnAction.REMARK_ECT1, v6)
+            clearing = self._arelion_path(vantage, provider, EcnAction.CLEAR_ECN, v6)
+            trace = PathTemplate(
+                name=f"{vantage.vantage_id}/{provider.name}/lb-zero-trace",
+                variants=[transport, clearing],
+                weights=[0.25, 0.75],
+            )
+            return BuiltRoute(transport=self._template(transport), trace=trace)
+        if profile == "arelion-remark-zero-trace":
+            transport = self._arelion_path(vantage, provider, EcnAction.REMARK_ECT1, v6)
+            trace_path = self._remark_then_zero_path(vantage, provider, v6)
+            return BuiltRoute(
+                transport=self._template(transport),
+                trace=self._template(trace_path),
+            )
+        raise KeyError(f"unknown path profile: {profile}")
+
+    # ------------------------------------------------------------------
+    def _clean_path(self, vantage: VantageSpec, provider: ProviderSpec, v6: bool) -> NetworkPath:
+        addr = self._addr6 if v6 else self._addr
+        hops = self._first_mile(vantage, v6)
+        hops.append(_router(f"{vantage.vantage_id}/transit", AS_DTAG, addr()))
+        hops.append(self._provider_edge(vantage, provider, v6))
+        return NetworkPath(hops=hops)
+
+    def _level3_path(self, vantage: VantageSpec, provider: ProviderSpec, v6: bool) -> NetworkPath:
+        addr = self._addr6 if v6 else self._addr
+        hops = self._first_mile(vantage, v6)
+        hops.append(_router(f"{vantage.vantage_id}/level3-a", AS_LEVEL3, addr()))
+        hops.append(_router(f"{vantage.vantage_id}/level3-b", AS_LEVEL3, addr()))
+        hops.append(self._provider_edge(vantage, provider, v6))
+        return NetworkPath(hops=hops)
+
+    def _arelion_path(
+        self, vantage: VantageSpec, provider: ProviderSpec, action: EcnAction, v6: bool
+    ) -> NetworkPath:
+        hops = self._first_mile(vantage, v6)
+        hops.extend(self._arelion_triplet(vantage, action, v6))
+        hops.append(self._provider_edge(vantage, provider, v6))
+        return NetworkPath(hops=hops)
+
+    def _cogent_boundary_path(
+        self, vantage: VantageSpec, provider: ProviderSpec, v6: bool
+    ) -> NetworkPath:
+        """Re-marking on the Arelion->Cogent boundary: the last Arelion hop
+        rewrites on forwarding, the next quote comes from Cogent — the
+        tracer cannot tell which side did it."""
+        addr = self._addr6 if v6 else self._addr
+        vid = vantage.vantage_id
+        hops = self._first_mile(vantage, v6)
+        hops.append(_router(f"{vid}/arelion-a", AS_ARELION, addr()))
+        hops.append(_router(f"{vid}/arelion-b", AS_ARELION, addr(), EcnAction.REMARK_ECT1))
+        hops.append(_router(f"{vid}/cogent-a", AS_COGENT, addr()))
+        hops.append(self._provider_edge(vantage, provider, v6))
+        return NetworkPath(hops=hops)
+
+    def _remark_then_zero_path(
+        self, vantage: VantageSpec, provider: ProviderSpec, v6: bool
+    ) -> NetworkPath:
+        addr = self._addr6 if v6 else self._addr
+        vid = vantage.vantage_id
+        hops = self._first_mile(vantage, v6)
+        hops.append(_router(f"{vid}/arelion-a", AS_ARELION, addr()))
+        hops.append(_router(f"{vid}/arelion-b", AS_ARELION, addr(), EcnAction.REMARK_ECT1))
+        hops.append(_router(f"{vid}/arelion-c", AS_ARELION, addr(), EcnAction.ZERO_ECT1))
+        hops.append(_router(f"{vid}/arelion-d", AS_ARELION, addr()))
+        hops.append(self._provider_edge(vantage, provider, v6))
+        return NetworkPath(hops=hops)
+
+    # ------------------------------------------------------------------
+    def _template(self, path: NetworkPath) -> PathTemplate:
+        return PathTemplate(name=f"tmpl-{self._addr_counter}", variants=[path])
+
+    def _single(self, path_or_template: NetworkPath | PathTemplate) -> BuiltRoute:
+        if isinstance(path_or_template, NetworkPath):
+            return BuiltRoute(transport=self._template(path_or_template))
+        return BuiltRoute(transport=path_or_template)
+
+
+def effective_path_profile(
+    vantage: VantageSpec,
+    profile: str,
+    group_rank: float,
+) -> str:
+    """Resolve a group's path profile as seen from one vantage point.
+
+    Re-marking groups keep their re-marking path only if the group's
+    stable rank falls inside the vantage's ``remark_retention`` share;
+    otherwise the path clears instead (total network-induced errors stay
+    comparable across vantage points, §8).
+    """
+    remark_profiles = (
+        "arelion-remark",
+        "arelion-cogent-remark",
+        "arelion-remark-lb-zero",
+        "arelion-remark-zero-trace",
+    )
+    if profile in remark_profiles and group_rank >= vantage.remark_retention:
+        return "arelion-clear"
+    return profile

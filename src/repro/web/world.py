@@ -1,0 +1,447 @@
+"""World builder: turn provider specs into hosts, DNS, routes and stacks.
+
+The built :class:`World` exposes exactly what a measurement pipeline can
+touch: a resolver, a routed network, and per-site server stacks resolved
+for a given week and vantage point.  QUIC adoption grows over the
+measurement period (ramp from ~81 % of the final fleet in June 2022 to
+100 % by spring 2023), reproducing the rising total of Figure 3 and the
+"Unavailable" flows of Figure 4.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.asdb.as2org import AsOrgMap
+from repro.asdb.prefixtree import PrefixTree
+from repro.dns.resolver import DnsRecord, Resolver
+from repro.http.messages import HttpResponse
+from repro.netsim.clock import Clock
+from repro.netsim.network import Network
+from repro.quicstacks.base import QuicServerStack
+from repro.quicstacks.registry import StackRegistry, default_registry
+from repro.tcp.profiles import TcpProfile
+from repro.tcp.server import TcpServerStack
+from repro.util.rng import RngStream, stable_hash
+from repro.util.weeks import Week, week_range
+from repro.web.paths import (
+    AS_ARELION,
+    AS_AWS,
+    AS_COGENT,
+    AS_DFN,
+    AS_DTAG,
+    AS_LEVEL3,
+    AS_VULTR,
+    RouteBuilder,
+    effective_path_profile,
+)
+from repro.web.providers import (
+    UNRESOLVED_CNO,
+    UNRESOLVED_TOPLIST,
+    default_providers,
+    default_vantage_overrides,
+    default_vantages,
+)
+from repro.web.spec import (
+    HostGroupSpec,
+    ProviderSpec,
+    VantageOverrideSpec,
+    VantageSpec,
+    WorldConfig,
+)
+
+#: QUIC fleet share already deployed at the start of the campaign.
+ADOPTION_START_SHARE = 0.81
+#: Week at which the fleet reaches its final size.
+ADOPTION_FULL_WEEK = Week(2023, 13)
+
+TOPLIST_NAMES = ("alexa", "umbrella", "majestic", "tranco")
+
+
+@dataclass
+class Site:
+    """One server IP (v4, optionally v6) with homogeneous behaviour."""
+
+    index: int
+    provider: ProviderSpec
+    group: HostGroupSpec
+    ip: str
+    ipv6: str | None
+    route_key: str
+    position_in_group: int
+    group_site_count: int
+    domain_count: int = 0
+    toplist_domain_count: int = 0
+
+    @property
+    def group_fraction(self) -> float:
+        """This site's rank within its group, in [0, 1)."""
+        return self.position_in_group / max(1, self.group_site_count)
+
+
+@dataclass(slots=True)
+class Domain:
+    """One scanned domain."""
+
+    name: str
+    site_index: int  # -1 = unresolvable
+    population: str  # "cno" | "toplist"
+    lists: tuple[str, ...]
+    parked: bool = False
+    has_aaaa: bool = False
+    adoption_rank: float = 0.0  # QUIC availability threshold
+
+
+@dataclass(frozen=True)
+class SitePolicy:
+    """Effective behaviour of a site as seen from one vantage point."""
+
+    quic_profile: str | None
+    tcp_profile: TcpProfile
+    reachable: bool
+
+
+class World:
+    """A fully built synthetic Internet."""
+
+    def __init__(
+        self,
+        config: WorldConfig,
+        providers: list[ProviderSpec],
+        vantages: list[VantageSpec],
+        overrides: list[VantageOverrideSpec],
+    ):
+        self.config = config
+        self.providers = {p.name: p for p in providers}
+        self.vantages = {v.vantage_id: v for v in vantages}
+        self.clock = Clock()
+        self.rng = RngStream(config.seed, "world")
+        self.network = Network(self.clock, self.rng.child("network"))
+        self.stack_registry: StackRegistry = default_registry()
+        self.resolver = Resolver()
+        self.asorg = AsOrgMap()
+        self.prefixes = PrefixTree()
+        self.sites: list[Site] = []
+        self.domains: list[Domain] = []
+        self._sites_by_ip: dict[str, Site] = {}
+        self._overrides: dict[tuple[str, str, str], list[VantageOverrideSpec]] = {}
+        for override in overrides:
+            key = (override.vantage_id, override.provider, override.group_key)
+            self._overrides.setdefault(key, []).append(override)
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def site_by_ip(self, ip: str) -> Site | None:
+        return self._sites_by_ip.get(ip)
+
+    def site_of(self, domain: Domain) -> Site | None:
+        if domain.site_index < 0:
+            return None
+        return self.sites[domain.site_index]
+
+    def weeks(self) -> list[Week]:
+        return list(week_range(self.config.start_week, self.config.end_week))
+
+    # ------------------------------------------------------------------
+    # Adoption ramp (Figure 3 total line)
+    # ------------------------------------------------------------------
+    def adoption_share(self, week: Week) -> float:
+        start = self.config.start_week
+        if week >= ADOPTION_FULL_WEEK:
+            return 1.0
+        total = max(1, ADOPTION_FULL_WEEK - start)
+        elapsed = max(0, week - start)
+        return ADOPTION_START_SHARE + (1.0 - ADOPTION_START_SHARE) * elapsed / total
+
+    def domain_has_quic_listener(self, domain: Domain, week: Week) -> bool:
+        """Whether the domain's site already rolled out QUIC at ``week``."""
+        return domain.adoption_rank < self.adoption_share(week)
+
+    # ------------------------------------------------------------------
+    # Per-vantage behaviour resolution
+    # ------------------------------------------------------------------
+    def site_policy(self, site: Site, vantage_id: str) -> SitePolicy:
+        group = site.group
+        quic_profile = group.quic_profile
+        reachable = group.reachable
+        key = (vantage_id, site.provider.name, group.key)
+        window_start = 0.0
+        for override in self._overrides.get(key, ()):
+            window_end = window_start + override.fraction
+            if window_start <= site.group_fraction < window_end:
+                if override.unreachable:
+                    reachable = False
+                if override.quic_profile is not None:
+                    quic_profile = override.quic_profile
+                break
+            window_start = window_end
+        return SitePolicy(
+            quic_profile=quic_profile,
+            tcp_profile=group.tcp_profile,
+            reachable=reachable,
+        )
+
+    # ------------------------------------------------------------------
+    # Server construction
+    # ------------------------------------------------------------------
+    def make_response_factory(self, site: Site):
+        alt_svc = 'h3=":443"; ma=86400' if site.group.quic_profile else None
+        headers = [("content-type", "text/html")]
+        if alt_svc:
+            headers.append(("alt-svc", alt_svc))
+        response = HttpResponse(
+            status=200, headers=tuple(headers), body=b"<html>ok</html>"
+        )
+        return lambda _raw: response
+
+    def quic_server(
+        self, site: Site, week: Week, vantage_id: str, *, ip_version: int = 4
+    ) -> QuicServerStack | None:
+        policy = self.site_policy(site, vantage_id)
+        if not policy.reachable or policy.quic_profile is None:
+            return None
+        behavior = self.stack_registry.behavior(policy.quic_profile, week)
+        if not behavior.quic_enabled:
+            return None
+        return QuicServerStack(
+            behavior, self.make_response_factory(site), ip_version=ip_version
+        )
+
+    def tcp_server(self, site: Site, week: Week, vantage_id: str) -> TcpServerStack | None:
+        policy = self.site_policy(site, vantage_id)
+        if not policy.reachable:
+            return None
+        return TcpServerStack(policy.tcp_profile, self.make_response_factory(site))
+
+
+
+def build_world(
+    config: WorldConfig | None = None,
+    *,
+    providers: list[ProviderSpec] | None = None,
+    vantages: list[VantageSpec] | None = None,
+    overrides: list[VantageOverrideSpec] | None = None,
+) -> World:
+    """Construct the default calibrated world (or a customised one)."""
+    config = config or WorldConfig()
+    providers = providers if providers is not None else default_providers()
+    vantages = vantages if vantages is not None else default_vantages()
+    overrides = overrides if overrides is not None else default_vantage_overrides()
+    world = World(config, providers, vantages, overrides)
+    _populate_asdb(world, providers)
+    _populate_sites_and_domains(world, providers)
+    _populate_unresolved(world)
+    _register_routes(world, providers, vantages)
+    return world
+
+
+# ----------------------------------------------------------------------
+# Build steps
+# ----------------------------------------------------------------------
+def _populate_asdb(world: World, providers: list[ProviderSpec]) -> None:
+    transit = {
+        AS_DFN: "DFN",
+        AS_DTAG: "Deutsche Telekom",
+        AS_ARELION: "Arelion (Telia Carrier)",
+        AS_COGENT: "Cogent",
+        AS_LEVEL3: "Level3",
+        AS_AWS: "Amazon",
+        AS_VULTR: "Vultr",
+    }
+    for asn, org in transit.items():
+        world.asorg.add(asn, org)
+    for provider in providers:
+        world.asorg.add(provider.asn, provider.name)
+        for sibling_asn, label in zip(provider.sibling_asns, provider.sibling_org_labels):
+            world.asorg.add(sibling_asn, label)
+            world.asorg.merge(label, provider.name)
+
+
+def _tld_cycle():
+    return itertools.cycle(("com", "net", "org"))
+
+
+def _populate_sites_and_domains(world: World, providers: list[ProviderSpec]) -> None:
+    config = world.config
+    for pidx, provider in enumerate(providers):
+        octet = 64 + pidx
+        world.prefixes.insert(f"100.{octet}.0.0/16", provider.asn)
+        world.prefixes.insert(f"2001:db8:{pidx:x}::/48", provider.asn)
+        site_counter = 0
+        for group in provider.groups:
+            n_sites = config.quota(group.ips)
+            n_cno = config.quota(group.cno_domains)
+            n_sites = min(n_sites, max(1, n_cno))  # never more sites than domains
+            group_sites: list[Site] = []
+            wants_v6 = group.ipv6_domains > 0
+            for position in range(n_sites):
+                serial = site_counter
+                site_counter += 1
+                ip = f"100.{octet}.{(serial >> 8) & 0xFF}.{serial & 0xFF}"
+                ipv6 = f"2001:db8:{pidx:x}::{serial + 1:x}" if wants_v6 else None
+                site = Site(
+                    index=len(world.sites),
+                    provider=provider,
+                    group=group,
+                    ip=ip,
+                    ipv6=ipv6,
+                    route_key=f"{provider.name}/{group.key}",
+                    position_in_group=position,
+                    group_site_count=n_sites,
+                )
+                world.sites.append(site)
+                world._sites_by_ip[ip] = site
+                if ipv6:
+                    world._sites_by_ip[ipv6] = site
+                group_sites.append(site)
+            _add_domains(world, provider, group, group_sites, n_cno)
+
+
+def _add_domains(
+    world: World,
+    provider: ProviderSpec,
+    group: HostGroupSpec,
+    group_sites: list[Site],
+    n_cno: int,
+) -> None:
+    config = world.config
+    slug = provider.name.lower().replace(" ", "-")
+    tlds = _tld_cycle()
+    n_parked = config.quota(group.parked_domains, min_one=False)
+    n_aaaa = config.quota(group.ipv6_domains, min_one=False)
+    for j in range(n_cno):
+        site = group_sites[j % len(group_sites)]
+        name = f"{slug}-{group.key}-{j:05d}.{next(tlds)}"
+        parked = j < n_parked
+        has_aaaa = site.ipv6 is not None and j < n_aaaa
+        domain = Domain(
+            name=name,
+            site_index=site.index,
+            population="cno",
+            lists=("cno",),
+            parked=parked,
+            has_aaaa=has_aaaa,
+            adoption_rank=stable_hash("adopt", name) % 10_000 / 10_000.0,
+        )
+        world.domains.append(domain)
+        site.domain_count += 1
+        _register_dns(world, domain, site)
+    n_top = config.quota(group.toplist_domains, min_one=False)
+    for j in range(n_top):
+        site = group_sites[j % len(group_sites)]
+        name = f"top-{slug}-{group.key}-{j:04d}.com"
+        membership = tuple(
+            list_name
+            for list_name in TOPLIST_NAMES
+            if stable_hash("toplist", list_name, name) % 100 < 70
+        ) or ("tranco",)
+        domain = Domain(
+            name=name,
+            site_index=site.index,
+            population="toplist",
+            lists=membership,
+            adoption_rank=stable_hash("adopt", name) % 10_000 / 10_000.0,
+        )
+        world.domains.append(domain)
+        site.toplist_domain_count += 1
+        _register_dns(world, domain, site)
+
+
+def _register_dns(world: World, domain: Domain, site: Site) -> None:
+    record = DnsRecord(
+        a=site.ip,
+        aaaa=site.ipv6 if domain.has_aaaa else None,
+        cname="parking.example" if domain.parked else None,
+        ns=("ns1.parkingcrew.example",) if domain.parked else (),
+    )
+    world.resolver.add(domain.name, record)
+
+
+def _populate_unresolved(world: World) -> None:
+    config = world.config
+    for j in range(config.quota(UNRESOLVED_CNO)):
+        tld = ("com", "net", "org")[j % 3]
+        world.domains.append(
+            Domain(
+                name=f"unresolved-{j:06d}.{tld}",
+                site_index=-1,
+                population="cno",
+                lists=("cno",),
+            )
+        )
+    for j in range(config.quota(UNRESOLVED_TOPLIST)):
+        world.domains.append(
+            Domain(
+                name=f"top-unresolved-{j:05d}.com",
+                site_index=-1,
+                population="toplist",
+                lists=("tranco",),
+            )
+        )
+
+
+def _remark_group_ranks(providers: list[ProviderSpec]) -> dict[tuple[str, str], float]:
+    """Stable cumulative rank of every re-marking group (for retention)."""
+    remark_profiles = (
+        "arelion-remark",
+        "arelion-cogent-remark",
+        "arelion-remark-lb-zero",
+        "arelion-remark-zero-trace",
+    )
+    entries: list[tuple[int, str, str, float]] = []
+    total = 0.0
+    for provider in providers:
+        for group in provider.groups:
+            if group.path_profile in remark_profiles and group.quic_profile:
+                order = stable_hash("remark-rank", provider.name, group.key)
+                entries.append((order, provider.name, group.key, group.cno_domains))
+                total += group.cno_domains
+    entries.sort()
+    ranks: dict[tuple[str, str], float] = {}
+    cumulative = 0.0
+    for _order, provider_name, group_key, domains in entries:
+        ranks[(provider_name, group_key)] = cumulative / total if total else 0.0
+        cumulative += domains
+    return ranks
+
+
+def _register_routes(
+    world: World, providers: list[ProviderSpec], vantages: list[VantageSpec]
+) -> None:
+    builder = RouteBuilder()
+    ranks = _remark_group_ranks(providers)
+    for vantage in vantages:
+        for provider in providers:
+            for group in provider.groups:
+                rank = ranks.get((provider.name, group.key), 0.0)
+                profile = effective_path_profile(vantage, group.path_profile, rank)
+                route_key = f"{provider.name}/{group.key}"
+                _register_route(world, builder, vantage, provider, profile, route_key)
+                if group.ipv6_domains > 0:
+                    v6_profile = group.ipv6_path_profile or "clean-v6"
+                    v6_profile = effective_path_profile(vantage, v6_profile, rank)
+                    _register_route(
+                        world, builder, vantage, provider, v6_profile, route_key + "/v6"
+                    )
+
+
+def _register_route(
+    world: World,
+    builder: RouteBuilder,
+    vantage: VantageSpec,
+    provider: ProviderSpec,
+    profile: str,
+    route_key: str,
+) -> None:
+    for epoch_key, built in builder.build(vantage, profile, provider).items():
+        start = None
+        if epoch_key:
+            year, week = epoch_key.split("-W")
+            start = Week(int(year), int(week))
+        world.network.register(vantage.vantage_id, route_key, built.transport, start=start)
+        if built.trace is not None:
+            world.network.register(
+                vantage.vantage_id, route_key + "/trace", built.trace, start=start
+            )

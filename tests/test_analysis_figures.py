@@ -1,0 +1,244 @@
+"""Shape assertions for Figures 3-8."""
+
+import pytest
+
+import repro
+from repro.analysis.figures import figure8, vantage_error_categories
+from repro.analysis.render import (
+    render_figure3,
+    render_figure7,
+    render_relation,
+    render_transitions,
+)
+from repro.pipeline.vantage import run_distributed
+from repro.util.weeks import Week
+
+SNAPSHOTS = (Week(2022, 22), Week(2023, 5), Week(2023, 15))
+
+
+# ----------------------------------------------------------------------
+# Figure 3
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig3(campaign):
+    return repro.figure3(campaign)
+
+
+def test_figure3_total_quic_grows(fig3):
+    totals = [p.total_quic_domains for p in fig3]
+    assert totals[0] < totals[-1]
+
+
+def test_figure3_mirroring_dips_then_jumps(fig3):
+    """Paper: 2.20 % (Jun 22) -> 0.77 % (Feb 23) -> 5.61 % (Mar/Apr 23)."""
+    jun, feb, apr = (p.total_mirroring for p in fig3)
+    assert feb < jun
+    assert apr > 3 * jun
+
+
+def test_figure3_litespeed_dominates_in_april(fig3):
+    april = fig3[-1].mirroring_by_server
+    assert april["LiteSpeed"] == max(april.values())
+    assert april.get("Pepyaka", 0) > 0
+    assert april.get("Unknown", 0) > 0
+
+
+def test_figure3_pepyaka_absent_in_june(fig3):
+    assert fig3[0].mirroring_by_server.get("Pepyaka", 0) == 0
+
+
+def test_figure3_renders(fig3):
+    text = render_figure3(fig3)
+    assert "LiteSpeed" in text and "Pepyaka" in text
+
+
+# ----------------------------------------------------------------------
+# Figures 4 / 8
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig4(campaign):
+    return repro.figure4(campaign, SNAPSHOTS, min_flow=2, require_ecn_touch=True)
+
+
+def test_figure4_june_mirroring_is_draft27(fig4):
+    june = fig4.state_counts[0]
+    d27 = june.get("Mirroring (d27)", 0)
+    v1 = june.get("Mirroring (v1)", 0)
+    assert d27 > v1  # paper: 253k on d27 vs 54k on v1
+
+
+def test_figure4_big_switch_on_flow(fig4):
+    """The dominant Feb->Apr flow is v1 domains switching mirroring on
+    (paper: 838.14k)."""
+    flows = fig4.flows[1]
+    biggest = max(flows.items(), key=lambda item: item[1])
+    assert biggest[0] == ("No Mirroring (v1)", "Mirroring (v1)")
+
+
+def test_figure4_d27_exodus(fig4):
+    """Jun-22 d27 mirroring domains mostly upgrade (no ECN) or vanish."""
+    flows = fig4.flows[0]
+    to_nomirror = flows.get(("Mirroring (d27)", "No Mirroring (v1)"), 0)
+    to_gone = flows.get(("Mirroring (d27)", "Unavailable"), 0)
+    stayed = flows.get(("Mirroring (d27)", "Mirroring (d27)"), 0)
+    assert to_nomirror > stayed
+    assert to_gone > stayed
+
+
+def test_figure4_april_mirroring_mostly_v1(fig4):
+    april = fig4.state_counts[2]
+    assert april.get("Mirroring (v1)", 0) > 10 * april.get("Mirroring (d27)", 1)
+
+
+def test_figure8_is_superset_of_figure4(campaign, fig4):
+    raw = figure8(campaign, SNAPSHOTS)
+    for index, counts in enumerate(fig4.state_counts):
+        for state, count in counts.items():
+            assert raw.state_counts[index].get(state, 0) >= count
+    # Unfiltered states include the non-ECN masses.
+    assert raw.state_counts[0].get("No Mirroring (v1)", 0) > fig4.state_counts[
+        0
+    ].get("No Mirroring (v1)", 0)
+
+
+def test_figure8_contains_minor_drafts(campaign):
+    raw = figure8(campaign, SNAPSHOTS)
+    june = raw.state_counts[0]
+    assert any("d29" in state or "d34" in state for state in june)
+
+
+def test_transitions_render(fig4):
+    text = render_transitions(fig4)
+    assert "->" in text
+
+
+# ----------------------------------------------------------------------
+# Figure 5
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig5(reference_run, ipv6_run):
+    return repro.figure5(reference_run, ipv6_run)
+
+
+def test_figure5_ipv6_reachability_shrinks(fig5):
+    v4_quic = sum(c for g, c in fig5.left_counts.items() if g != "Unavailable")
+    v6_quic = sum(c for g, c in fig5.right_counts.items() if g != "Unavailable")
+    assert v6_quic < v4_quic
+
+
+def test_figure5_mirroring_mostly_lost_on_ipv6(fig5):
+    lost = sum(
+        count
+        for (left, right), count in fig5.joint.items()
+        if left.startswith("Mirroring") and right == "Unavailable"
+    )
+    kept = sum(
+        count
+        for (left, right), count in fig5.joint.items()
+        if left.startswith("Mirroring") and right.startswith("Mirroring")
+    )
+    assert lost > kept  # most IPv4 supporters are not reachable via IPv6
+
+
+def test_figure5_renders(fig5):
+    assert "Mirroring" in render_relation(fig5, "IPv4", "IPv6")
+
+
+# ----------------------------------------------------------------------
+# Figure 6
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig6(tcp_quic_run):
+    return repro.figure6(tcp_quic_run)
+
+
+def test_figure6_tcp_support_dwarfs_quic(fig6):
+    tcp_mirror = sum(
+        c for g, c in fig6.left_counts.items() if g.startswith("CE Mirroring")
+    )
+    tcp_total = sum(fig6.left_counts.values())
+    quic_mirror = sum(
+        c for g, c in fig6.right_counts.items() if g.startswith("CE Mirroring")
+    )
+    quic_reachable = sum(
+        c for g, c in fig6.right_counts.items() if g != "No QUIC"
+    )
+    # Paper: ~70 % of TCP-reachable domains mirror CE via TCP; <10 % of
+    # QUIC domains do via QUIC.
+    assert tcp_mirror / tcp_total > 0.5
+    assert quic_mirror / quic_reachable < 0.10
+
+
+def test_figure6_full_group_is_biggest(fig6):
+    assert (
+        max(fig6.left_counts, key=fig6.left_counts.get)
+        == "CE Mirroring, Use, Negotiation"
+    )
+
+
+def test_figure6_no_negotiation_second(fig6):
+    ordered = sorted(fig6.left_counts.items(), key=lambda item: -item[1])
+    assert ordered[1][0] == "No Negotiation"
+
+
+def test_figure6_non_mirroring_quic_splits_into_two_tcp_groups(fig6):
+    """§6.3: QUIC non-mirrorers are either full TCP-ECN hosts (so the
+    network is fine; the stack opted out) or TCP non-negotiators."""
+    inflows = {
+        left: count
+        for (left, right), count in fig6.joint.items()
+        if right == "No CE Mirroring, No Use"
+    }
+    ordered = sorted(inflows.items(), key=lambda item: -item[1])
+    assert {ordered[0][0], ordered[1][0]} == {
+        "CE Mirroring, Use, Negotiation",
+        "No Negotiation",
+    }
+
+
+def test_figure6_barely_any_tcp_fail_quic_mirror(fig6):
+    """Barely any domain mirrors via QUIC but fails via TCP."""
+    odd = sum(
+        count
+        for (left, right), count in fig6.joint.items()
+        if left.startswith("No CE Mirroring") and right.startswith("CE Mirroring")
+    )
+    total = sum(fig6.joint.values())
+    assert odd / total < 0.02
+
+
+# ----------------------------------------------------------------------
+# Figure 7
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def distributed_pair(shape_world, reference_run):
+    v4 = run_distributed(shape_world, main_run=reference_run)
+    v6 = run_distributed(shape_world, ip_version=6)
+    return v4, v6
+
+
+def test_figure7_global_capability_band(shape_world, distributed_pair):
+    v4, v6 = distributed_pair
+    points = repro.figure7(shape_world, v4, v6)
+    assert len(points) == len(shape_world.vantages)
+    for point in points:
+        assert point.pct_capable_v4 is not None
+        # Paper: 0.2 % - 0.4 % everywhere.
+        assert 0.05 < point.pct_capable_v4 < 0.6
+
+
+def test_figure7_ipv6_below_ipv4(shape_world, distributed_pair):
+    v4, v6 = distributed_pair
+    points = repro.figure7(shape_world, v4, v6)
+    lower = sum(
+        1
+        for p in points
+        if p.pct_capable_v6 is not None and p.pct_capable_v6 <= p.pct_capable_v4
+    )
+    assert lower >= len(points) - 1
+
+
+def test_figure7_renders(shape_world, distributed_pair):
+    v4, v6 = distributed_pair
+    text = render_figure7(repro.figure7(shape_world, v4, v6))
+    assert "Aachen" in text

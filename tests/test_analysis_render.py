@@ -1,0 +1,37 @@
+"""ASCII renderers."""
+
+import repro
+from repro.analysis.render import (
+    render_clearing_table,
+    render_provider_table,
+    render_table,
+    render_table1,
+)
+from repro.analysis.tables import table1, table2, table4
+
+
+def test_render_table_alignment():
+    text = render_table(["A", "Blong"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("A")
+    assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+
+def test_render_table1(reference_run):
+    text = render_table1(table1(reference_run))
+    assert "c/n/o" in text
+    assert "Toplists" in text
+    assert "%" in text
+
+
+def test_render_provider_table(reference_run):
+    text = render_provider_table(table2(reference_run), top=5)
+    assert "Cloudflare" in text
+    assert text.count("\n") <= 7
+
+
+def test_render_clearing_table(reference_run):
+    text = render_clearing_table(table4(reference_run))
+    assert "Arelion share" in text
+    assert "Server Central" in text

@@ -1,0 +1,263 @@
+"""Shape assertions for Tables 1-7 against the paper's published values.
+
+Absolute counts depend on the world scale; these tests pin the *shape*:
+who wins, rough factors, orderings, and percentage bands.
+"""
+
+import pytest
+
+import repro
+from repro.analysis.classify import ValidationClass
+from repro.analysis.tables import (
+    parking_summary,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+
+@pytest.fixture(scope="module")
+def t1(reference_run):
+    return {(row.scope, row.unit): row for row in table1(reference_run)}
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+def test_cno_domain_mirroring_band(t1):
+    row = t1[("c/n/o", "Domains")]
+    # Paper: 5.6 % mirroring / 4.2 % use of 17.30M QUIC domains.
+    assert 4.0 < row.mirroring_pct < 7.5
+    assert 2.5 < row.use_pct < 5.5
+    assert row.use < row.mirroring
+
+
+def test_cno_quic_share_of_resolved(t1):
+    row = t1[("c/n/o", "Domains")]
+    # Paper: 17.30M QUIC of 159.40M resolved (~10.9 %).
+    assert 0.08 < row.quic / row.resolved < 0.14
+
+
+def test_ip_mirroring_exceeds_domain_mirroring(t1):
+    """Key §5.1 takeaway: more hosts than domains mirror, because the
+    domain-heavy CDNs don't."""
+    domains = t1[("c/n/o", "Domains")]
+    ips = t1[("c/n/o", "IPs")]
+    assert ips.mirroring_pct > 2 * domains.mirroring_pct
+
+
+def test_toplist_support_below_cno(t1):
+    toplist = t1[("Toplists", "Domains")]
+    cno = t1[("c/n/o", "Domains")]
+    assert toplist.mirroring_pct < cno.mirroring_pct
+    assert 1.0 < toplist.mirroring_pct < 5.0  # paper: 3.3 %
+
+
+def test_resolution_rates(t1):
+    # Paper: 159.40M/183.28M c/n/o and 1.94M/2.72M toplist resolve.
+    cno = t1[("c/n/o", "Domains")]
+    toplist = t1[("Toplists", "Domains")]
+    assert 0.82 < cno.resolved / cno.total < 0.92
+    assert 0.66 < toplist.resolved / toplist.total < 0.76
+
+
+# ----------------------------------------------------------------------
+# Tables 2/3
+# ----------------------------------------------------------------------
+def test_table2_cdn_dominance_without_ecn(reference_run):
+    rows = {row.org: row for row in table2(reference_run)}
+    assert rows["Cloudflare"].total_rank == 1
+    assert rows["Google"].total_rank == 2
+    assert rows["Cloudflare"].mirroring == 0
+    assert rows["Cloudflare"].use == 0
+    assert rows["Fastly"].mirroring == 0
+
+
+def test_table2_google_leads_mirroring_in_cno(reference_run):
+    rows = {row.org: row for row in table2(reference_run)}
+    assert rows["Google"].mirroring_rank == 1  # via the wix/Pepyaka proxy
+    assert rows["Google"].use == 0
+
+
+def test_table2_medium_providers_drive_support(reference_run):
+    rows = {row.org: row for row in table2(reference_run)}
+    for org in ("Hostinger", "SingleHop", "OVH SAS", "A2 Hosting"):
+        assert rows[org].mirroring > 0
+    assert rows["SingleHop"].mirroring_rank <= 4
+    assert rows["Server Central"].mirroring == 0  # cleared path
+    assert rows["Server Central"].use > 0
+
+
+def test_table3_amazon_tops_toplist_support(reference_run):
+    rows = {row.org: row for row in table3(reference_run)}
+    assert rows["Cloudflare"].total_rank == 1
+    assert rows["Amazon"].mirroring_rank == 1
+    assert rows["Amazon"].use_rank == 1
+    assert rows["Google"].mirroring <= 1  # own services do not mirror
+
+
+# ----------------------------------------------------------------------
+# Table 4
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def clearing(reference_run):
+    return table4(reference_run)
+
+
+def test_server_central_fully_cleared(clearing):
+    row = next(r for r in clearing.rows if r.org == "Server Central")
+    assert row.cleared > 0
+    assert row.not_cleared == 0  # 100 % of tested SC domains cleared
+
+
+def test_a2_hosting_majority_cleared(clearing, reference_run):
+    """Paper: 58 % of *all* A2 Hosting domains could not mirror because
+    the path cleared the codepoints."""
+    row = next(r for r in clearing.rows if r.org == "A2 Hosting")
+    all_a2 = sum(
+        1
+        for obs in reference_run.observations_for("cno")
+        if obs.quic_available and obs.org == "A2 Hosting"
+    )
+    assert 0.4 < row.cleared / all_a2 < 0.8
+
+
+def test_cdns_not_cleared(clearing):
+    for org in ("Cloudflare", "Google", "Fastly"):
+        row = next(r for r in clearing.rows if r.org == org)
+        assert row.cleared == 0
+        assert row.not_cleared > 0
+
+
+def test_arelion_causes_nearly_all_clearing(clearing):
+    assert clearing.arelion_share > 0.9  # paper: 98.6 %
+
+
+def test_cleared_far_below_not_cleared(clearing):
+    # Paper: 330k cleared vs 15.93M not cleared.
+    assert clearing.total_cleared * 10 < clearing.total_not_cleared
+
+
+def test_top5_cleared_orgs(clearing):
+    top = [row.org for row in clearing.rows[:5]]
+    assert top[0] == "Server Central"
+    assert "A2 Hosting" in top[:2]
+    assert "Hostinger" in top
+    assert "Contabo" in top
+    assert "Sharktech" in top
+
+
+# ----------------------------------------------------------------------
+# Table 5
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def validation(reference_run, ipv6_run):
+    return table5(reference_run, ipv6_run)
+
+
+def test_validation_class_ordering_v4(validation):
+    get = lambda cls: validation[cls]["ipv4"].domains
+    assert get(ValidationClass.NO_MIRRORING) > get(ValidationClass.UNDERCOUNT)
+    assert get(ValidationClass.UNDERCOUNT) > get(ValidationClass.REMARK_ECT1)
+    assert get(ValidationClass.REMARK_ECT1) > get(ValidationClass.CAPABLE)
+    assert get(ValidationClass.CAPABLE) > get(ValidationClass.ALL_CE)
+
+
+def test_validation_capable_is_tiny_fraction(reference_run, validation):
+    quic_domains = sum(
+        1 for o in reference_run.observations_for("cno") if o.quic_available
+    )
+    capable = validation[ValidationClass.CAPABLE]["ipv4"].domains
+    # Paper: 0.22 % of QUIC domains pass validation via IPv4.
+    assert 0.001 < capable / quic_domains < 0.005
+
+
+def test_validation_failure_rate_among_mirroring(validation):
+    """Paper: validation fails for ~96 % of mirroring endpoints."""
+    v4 = {cls: cells["ipv4"].domains for cls, cells in validation.items()}
+    mirroring = (
+        v4[ValidationClass.CAPABLE]
+        + v4[ValidationClass.UNDERCOUNT]
+        + v4[ValidationClass.REMARK_ECT1]
+        + v4.get(ValidationClass.ALL_CE, 0)
+    )
+    assert v4[ValidationClass.CAPABLE] / mirroring < 0.08  # paper: 3.93 %
+
+
+def test_ipv6_support_lower_but_cleaner(validation):
+    v4_capable = validation[ValidationClass.CAPABLE]["ipv4"].domains
+    v6_capable = validation[ValidationClass.CAPABLE]["ipv6"].domains
+    v4_mirror = sum(
+        validation[c]["ipv4"].domains
+        for c in (
+            ValidationClass.CAPABLE,
+            ValidationClass.UNDERCOUNT,
+            ValidationClass.REMARK_ECT1,
+        )
+    )
+    v6_mirror = sum(
+        validation[c]["ipv6"].domains
+        for c in (
+            ValidationClass.CAPABLE,
+            ValidationClass.UNDERCOUNT,
+            ValidationClass.REMARK_ECT1,
+        )
+    )
+    assert v6_mirror < v4_mirror  # fewer mirroring domains via IPv6
+    # ... but validation succeeds for a larger share of them (paper: 10% vs 4%).
+    assert v6_capable / max(1, v6_mirror) > v4_capable / v4_mirror
+
+
+# ----------------------------------------------------------------------
+# Table 6
+# ----------------------------------------------------------------------
+def test_table6_provider_rankings(reference_run):
+    ranking = table6(reference_run)
+    capable = [org for org, _ in ranking[ValidationClass.CAPABLE]]
+    undercount = [org for org, _ in ranking[ValidationClass.UNDERCOUNT]]
+    remark = [org for org, _ in ranking[ValidationClass.REMARK_ECT1]]
+    assert capable[0] == "Amazon"
+    assert undercount[:3] == ["Google", "SingleHop", "Hostinger"]
+    assert "OVH SAS" in undercount[:5]
+    assert "Interserver" in undercount[:5]
+    assert remark[0] == "A2 Hosting"
+    assert set(remark[1:4]) >= {"Raiola Networks", "Hostinger"}
+    assert "Google" in remark[:5]
+    assert "Steadfast" in remark[:6]
+
+
+# ----------------------------------------------------------------------
+# Table 7
+# ----------------------------------------------------------------------
+def test_table7_root_causes(reference_run):
+    rows = table7(reference_run)
+    by_key = {(r.validation, r.final_codepoint): r.domains for r in rows}
+    remark_ect1 = by_key.get((ValidationClass.REMARK_ECT1, "ECT(0)->ECT(1)"), 0)
+    remark_clean = by_key.get((ValidationClass.REMARK_ECT1, "ECT(0)"), 0)
+    remark_zero = by_key.get((ValidationClass.REMARK_ECT1, "Not-ECT"), 0)
+    undercount_clean = by_key.get((ValidationClass.UNDERCOUNT, "ECT(0)"), 0)
+    undercount_other = sum(
+        v for (cls, label), v in by_key.items()
+        if cls is ValidationClass.UNDERCOUNT and label != "ECT(0)"
+    )
+    # Undercounting is a stack issue: traces overwhelmingly show clean paths.
+    assert undercount_clean > 20 * max(1, undercount_other)
+    # Re-marking is mostly a network issue (ECT(1) observed) ...
+    assert remark_ect1 > remark_clean
+    # ... with a Google-stack slice showing clean ECT(0) paths ...
+    assert remark_clean > 0
+    # ... and a load-balancing slice where traces see zeroing instead.
+    assert remark_zero > 0
+
+
+# ----------------------------------------------------------------------
+# Parking (§5.1)
+# ----------------------------------------------------------------------
+def test_parking_share_is_marginal(reference_run):
+    summary = parking_summary(reference_run)
+    assert summary.parked_quic_domains > 0
+    assert summary.parked_share < 0.02  # paper: 0.6 %

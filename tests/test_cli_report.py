@@ -1,0 +1,108 @@
+"""CLI commands and the full-text report builders."""
+
+import pytest
+
+import repro
+from repro.analysis.report import global_report, longitudinal_report, reference_report
+from repro.cli import build_parser, main
+from repro.pipeline.vantage import run_distributed
+
+
+# ----------------------------------------------------------------------
+# Report builders
+# ----------------------------------------------------------------------
+def test_reference_report_contains_all_tables(reference_run, ipv6_run):
+    text = reference_report(reference_run, ipv6_run)
+    for marker in (
+        "Table 1",
+        "Table 2",
+        "Table 3",
+        "Table 4",
+        "Table 5",
+        "Table 6",
+        "Table 7",
+        "Parking",
+    ):
+        assert marker in text
+    assert "Cloudflare" in text
+    assert "Arelion" in text
+
+
+def test_reference_report_without_traces_skips_table4(shape_world):
+    run = repro.run_weekly_scan(
+        shape_world, shape_world.config.reference_week, populations=("toplist",)
+    )
+    text = reference_report(run)
+    assert "Table 4" not in text
+    assert "Table 1" in text
+
+
+def test_longitudinal_report(campaign):
+    text = longitudinal_report(campaign)
+    assert "Figure 3" in text
+    assert "Figure 4" in text
+    assert "Figure 8" in text
+    assert "LiteSpeed" in text
+
+
+def test_global_report(shape_world, reference_run):
+    dist = run_distributed(
+        shape_world, main_run=reference_run, vantage_ids=["main-aachen", "aws-frankfurt"]
+    )
+    text = global_report(shape_world, dist)
+    assert "Figure 7" in text
+    assert "aws-frankfurt" in text
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("scan", "campaign", "distributed", "trace", "l4s", "grease"):
+        args = parser.parse_args(
+            [command]
+            + (["--provider", "Cloudflare"] if command == "trace" else [])
+        )
+        assert args.command == command
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_cli_l4s_runs(capsys):
+    assert main(["l4s", "--rounds", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "penalty" in out
+
+
+def test_cli_trace_runs(capsys):
+    code = main(
+        ["trace", "--provider", "Server Central", "--scale", "20000", "--seed", "1"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "impairment: cleared" in out
+    assert "AS1299" in out
+
+
+def test_cli_trace_unknown_provider_fails(capsys):
+    code = main(["trace", "--provider", "NoSuchOrg", "--scale", "20000"])
+    assert code == 1
+
+
+def test_cli_grease_runs(capsys):
+    code = main(["grease", "--scale", "20000", "--max-sites", "20"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "visibility gain" in out
+
+
+def test_cli_scan_runs(capsys):
+    code = main(["scan", "--scale", "20000", "--no-tracebox"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Table 5" in out

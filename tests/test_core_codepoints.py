@@ -1,0 +1,52 @@
+"""ECN codepoint encoding (RFC 3168 bit layout)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.codepoints import DSCP_MASK, ECN, dscp_from_tos, ecn_from_tos, tos_with_ecn
+
+
+def test_codepoint_values_match_rfc3168():
+    assert ECN.NOT_ECT == 0b00
+    assert ECN.ECT1 == 0b01
+    assert ECN.ECT0 == 0b10
+    assert ECN.CE == 0b11
+
+
+def test_ect_classification():
+    assert ECN.ECT0.is_ect
+    assert ECN.ECT1.is_ect
+    assert not ECN.NOT_ECT.is_ect
+    assert not ECN.CE.is_ect
+
+
+def test_ce_is_marked():
+    assert ECN.CE.is_marked
+    assert not ECN.ECT0.is_marked
+
+
+def test_short_names():
+    assert ECN.ECT0.short_name() == "ECT(0)"
+    assert ECN.ECT1.short_name() == "ECT(1)"
+    assert ECN.CE.short_name() == "CE"
+    assert ECN.NOT_ECT.short_name() == "not-ECT"
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_ecn_extraction_reads_low_bits(tos):
+    assert ecn_from_tos(tos) == ECN(tos & 0b11)
+
+
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.sampled_from(list(ECN)),
+)
+def test_tos_with_ecn_preserves_dscp(tos, codepoint):
+    updated = tos_with_ecn(tos, codepoint)
+    assert ecn_from_tos(updated) is codepoint
+    assert updated & DSCP_MASK == tos & DSCP_MASK
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_dscp_is_high_six_bits(tos):
+    assert dscp_from_tos(tos) == tos >> 2

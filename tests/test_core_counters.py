@@ -1,0 +1,63 @@
+"""ECN counter algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.codepoints import ECN
+from repro.core.counters import EcnCounts
+
+counts = st.builds(
+    EcnCounts,
+    ect0=st.integers(min_value=0, max_value=10_000),
+    ect1=st.integers(min_value=0, max_value=10_000),
+    ce=st.integers(min_value=0, max_value=10_000),
+)
+
+
+def test_negative_counters_rejected():
+    with pytest.raises(ValueError):
+        EcnCounts(ect0=-1)
+
+
+def test_total():
+    assert EcnCounts(1, 2, 3).total == 6
+
+
+def test_with_observed_each_codepoint():
+    base = EcnCounts()
+    assert base.with_observed(ECN.ECT0) == EcnCounts(1, 0, 0)
+    assert base.with_observed(ECN.ECT1) == EcnCounts(0, 1, 0)
+    assert base.with_observed(ECN.CE) == EcnCounts(0, 0, 1)
+    assert base.with_observed(ECN.NOT_ECT) == base
+
+
+@given(counts, counts)
+def test_addition_is_componentwise(a, b):
+    total = a + b
+    assert total.as_tuple() == (a.ect0 + b.ect0, a.ect1 + b.ect1, a.ce + b.ce)
+
+
+@given(counts, counts)
+def test_subtract_inverts_add(a, b):
+    assert (a + b) - b == a
+
+
+@given(counts, counts)
+def test_monotonicity_of_sum(a, b):
+    assert (a + b).is_monotonic_from(a)
+
+
+@given(counts)
+def test_not_monotonic_after_decrease(c):
+    bumped = c + EcnCounts(1, 0, 0)
+    assert not c.is_monotonic_from(bumped)
+
+
+def test_subtract_below_zero_raises():
+    with pytest.raises(ValueError):
+        EcnCounts(0, 0, 0) - EcnCounts(1, 0, 0)
+
+
+@given(counts)
+def test_observation_increments_total_by_one(c):
+    assert c.with_observed(ECN.CE).total == c.total + 1

@@ -1,0 +1,43 @@
+"""The paper's Mirroring / Capable / Use / Full-Use vocabulary."""
+
+from repro.core.terminology import EcnSupport, SupportClass, classify_support
+from repro.core.validation import ValidationOutcome
+
+
+def test_full_use_requires_capable_and_use():
+    assert EcnSupport(mirroring=True, capable=True, use=True).full_use
+    assert not EcnSupport(mirroring=True, capable=False, use=True).full_use
+    assert not EcnSupport(mirroring=True, capable=True, use=False).full_use
+
+
+def test_support_class_no_mirroring():
+    support = EcnSupport(mirroring=False, capable=False, use=False)
+    assert support.support_class is SupportClass.NO_MIRRORING
+
+
+def test_support_class_mirroring_only():
+    support = EcnSupport(mirroring=True, capable=False, use=False)
+    assert support.support_class is SupportClass.MIRRORING_ONLY
+
+
+def test_support_class_capable():
+    support = EcnSupport(mirroring=True, capable=True, use=False)
+    assert support.support_class is SupportClass.CAPABLE
+
+
+def test_classify_from_observations():
+    support = classify_support(
+        mirroring_observed=True,
+        outcome=ValidationOutcome.CAPABLE,
+        server_set_ect=True,
+    )
+    assert support.mirroring and support.capable and support.use and support.full_use
+
+
+def test_classify_failed_validation():
+    support = classify_support(
+        mirroring_observed=True,
+        outcome=ValidationOutcome.UNDERCOUNT,
+        server_set_ect=False,
+    )
+    assert support.mirroring and not support.capable and not support.full_use

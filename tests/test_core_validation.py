@@ -1,0 +1,260 @@
+"""The RFC 9000 ECN validation state machine (paper Figure 1).
+
+Every arrow of the figure gets a test, plus property tests on invariants
+(a failed machine never becomes capable; CAPABLE requires full
+accounting of acknowledged marked packets).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.codepoints import ECN
+from repro.core.counters import EcnCounts
+from repro.core.validation import (
+    AckEcnSample,
+    EcnValidator,
+    ValidationConfig,
+    ValidationOutcome,
+    ValidationState,
+)
+
+
+def make_validator(testing=5, timeouts=2, probe=ECN.ECT0) -> EcnValidator:
+    return EcnValidator(
+        config=ValidationConfig(
+            testing_packets=testing, max_timeouts=timeouts, probe_codepoint=probe
+        )
+    )
+
+
+def drive_capable_exchange(validator: EcnValidator, packets: int) -> None:
+    """Send `packets` marked packets, each acked with correct counters."""
+    counts = EcnCounts()
+    for _ in range(packets):
+        marking = validator.marking_for_next_packet()
+        validator.on_packet_sent(marking)
+        counts = counts.with_observed(marking)
+        validator.on_ack(AckEcnSample(newly_acked_marked=1, counts=counts))
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+def test_config_rejects_zero_testing_packets():
+    with pytest.raises(ValueError):
+        ValidationConfig(testing_packets=0)
+
+
+def test_config_rejects_zero_timeouts():
+    with pytest.raises(ValueError):
+        ValidationConfig(max_timeouts=0)
+
+
+def test_config_rejects_not_ect_probe():
+    with pytest.raises(ValueError):
+        ValidationConfig(probe_codepoint=ECN.NOT_ECT)
+
+
+# ----------------------------------------------------------------------
+# Testing phase mechanics
+# ----------------------------------------------------------------------
+def test_testing_phase_marks_ect0():
+    validator = make_validator()
+    assert validator.marking_for_next_packet() is ECN.ECT0
+
+
+def test_unknown_phase_stops_marking():
+    validator = make_validator(testing=2)
+    for _ in range(2):
+        validator.on_packet_sent(validator.marking_for_next_packet())
+    assert validator.state is ValidationState.UNKNOWN
+    assert validator.marking_for_next_packet() is ECN.NOT_ECT
+
+
+def test_capable_resumes_marking():
+    validator = make_validator(testing=3)
+    drive_capable_exchange(validator, 3)
+    assert validator.state is ValidationState.CAPABLE
+    assert validator.marking_for_next_packet() is ECN.ECT0
+
+
+# ----------------------------------------------------------------------
+# Figure 1 arrows
+# ----------------------------------------------------------------------
+def test_correct_counters_reach_capable():
+    validator = make_validator()
+    drive_capable_exchange(validator, 5)
+    assert validator.outcome is ValidationOutcome.CAPABLE
+
+
+def test_missing_counters_fail_as_no_mirroring():
+    validator = make_validator()
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(AckEcnSample(newly_acked_marked=1, counts=None))
+    assert validator.state is ValidationState.FAILED
+    assert validator.outcome is ValidationOutcome.NO_MIRRORING
+
+
+def test_counters_vanishing_mid_connection_fail_as_undercount():
+    """The lsquic packet-number-space bug (paper §7.3)."""
+    validator = make_validator()
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(AckEcnSample(newly_acked_marked=1, counts=EcnCounts(ect0=1)))
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(AckEcnSample(newly_acked_marked=1, counts=None))
+    assert validator.outcome is ValidationOutcome.UNDERCOUNT
+
+
+def test_wrong_codepoint_fails():
+    """ECT(1) counters although ECT(0) was sent: re-marking/confusion."""
+    validator = make_validator()
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(AckEcnSample(newly_acked_marked=1, counts=EcnCounts(ect1=1)))
+    assert validator.outcome is ValidationOutcome.WRONG_CODEPOINT
+
+
+def test_undercounted_counters_fail():
+    validator = make_validator()
+    for _ in range(3):
+        validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(AckEcnSample(newly_acked_marked=3, counts=EcnCounts(ect0=1)))
+    assert validator.outcome is ValidationOutcome.UNDERCOUNT
+
+
+def test_non_monotonic_counters_fail():
+    validator = make_validator()
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(AckEcnSample(newly_acked_marked=1, counts=EcnCounts(ect0=1)))
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(AckEcnSample(newly_acked_marked=1, counts=EcnCounts(ect0=0)))
+    assert validator.outcome is ValidationOutcome.NON_MONOTONIC
+
+
+def test_ce_marks_count_towards_accounting():
+    """A few CE marks are the *intended* use of ECN, not a failure."""
+    validator = make_validator(testing=3)
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(AckEcnSample(newly_acked_marked=1, counts=EcnCounts(ect0=1)))
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(
+        AckEcnSample(newly_acked_marked=1, counts=EcnCounts(ect0=1, ce=1))
+    )
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(
+        AckEcnSample(newly_acked_marked=1, counts=EcnCounts(ect0=2, ce=1))
+    )
+    assert validator.outcome is ValidationOutcome.CAPABLE
+
+
+def test_all_packets_ce_fails():
+    validator = make_validator(testing=5)
+    counts = EcnCounts()
+    for _ in range(5):
+        validator.on_packet_sent(validator.marking_for_next_packet())
+        counts = counts.with_observed(ECN.CE)
+        validator.on_ack(AckEcnSample(newly_acked_marked=1, counts=counts))
+    assert validator.outcome is ValidationOutcome.ALL_CE
+
+
+def test_all_packets_lost_fails_as_blackhole():
+    validator = make_validator(timeouts=2)
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_timeout()
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_timeout()
+    assert validator.outcome is ValidationOutcome.BLACKHOLE
+
+
+def test_timeouts_after_progress_do_not_blackhole():
+    validator = make_validator(timeouts=2)
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(AckEcnSample(newly_acked_marked=1, counts=EcnCounts(ect0=1)))
+    validator.on_timeout()
+    validator.on_timeout()
+    assert validator.state is not ValidationState.FAILED
+
+
+# ----------------------------------------------------------------------
+# finish() semantics
+# ----------------------------------------------------------------------
+def test_finish_without_any_counts_is_no_mirroring():
+    validator = make_validator()
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(AckEcnSample(newly_acked_marked=0, counts=None))
+    assert validator.finish() is ValidationOutcome.NO_MIRRORING
+
+
+def test_finish_with_full_accounting_is_capable():
+    validator = make_validator(testing=2)
+    drive_capable_exchange(validator, 2)
+    assert validator.finish() is ValidationOutcome.CAPABLE
+
+
+def test_finish_is_idempotent():
+    validator = make_validator()
+    drive_capable_exchange(validator, 5)
+    first = validator.finish()
+    assert validator.finish() is first
+
+
+def test_ce_probe_mode_counts_ce_only():
+    """§6.3 comparison mode: CE probing expects the CE counter to move."""
+    validator = make_validator(probe=ECN.CE)
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(AckEcnSample(newly_acked_marked=1, counts=EcnCounts(ce=1)))
+    validator.on_packet_sent(validator.marking_for_next_packet())
+    validator.on_ack(AckEcnSample(newly_acked_marked=1, counts=EcnCounts(ect0=1, ce=1)))
+    assert validator.outcome is ValidationOutcome.WRONG_CODEPOINT
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # newly acked marked
+            st.one_of(
+                st.none(),
+                st.tuples(
+                    st.integers(min_value=0, max_value=50),
+                    st.integers(min_value=0, max_value=50),
+                    st.integers(min_value=0, max_value=50),
+                ),
+            ),
+        ),
+        max_size=20,
+    )
+)
+def test_failed_never_becomes_capable(events):
+    """Once FAILED, no sequence of ACKs revives the machine."""
+    validator = make_validator()
+    failed_seen = False
+    for newly_acked, raw in events:
+        validator.on_packet_sent(validator.marking_for_next_packet())
+        counts = EcnCounts(*raw) if raw is not None else None
+        validator.on_ack(AckEcnSample(newly_acked_marked=newly_acked, counts=counts))
+        if validator.state is ValidationState.FAILED:
+            failed_seen = True
+        if failed_seen:
+            assert validator.state is ValidationState.FAILED
+    validator.finish()
+    if failed_seen:
+        assert validator.outcome is not ValidationOutcome.CAPABLE
+
+
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=20))
+def test_clean_path_always_validates(testing, extra):
+    """Correct mirroring on a clean path validates for any budget."""
+    validator = make_validator(testing=testing)
+    drive_capable_exchange(validator, testing + extra)
+    assert validator.finish() is ValidationOutcome.CAPABLE
+
+
+@given(st.integers(min_value=1, max_value=10))
+def test_capable_implies_full_accounting(testing):
+    validator = make_validator(testing=testing)
+    drive_capable_exchange(validator, testing)
+    if validator.outcome is ValidationOutcome.CAPABLE:
+        seen = validator.last_counts - validator.baseline
+        assert seen.ect0 + seen.ce >= validator.marked_acked

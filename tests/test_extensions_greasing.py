@@ -1,0 +1,125 @@
+"""ECN greasing (paper §9.3) — client mechanics and the visibility study."""
+
+import pytest
+
+from repro.core.codepoints import ECN
+from repro.extensions.greasing import run_greasing_study
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.quic.connection import QuicClient, QuicClientConfig
+from repro.quicstacks.base import MirrorQuirk, QuicServerStack, StackBehavior
+from repro.util.rng import RngStream
+
+
+class RecordingWire:
+    """Loopback that records the IP ECN marking of every client packet."""
+
+    def __init__(self, server):
+        self.server = server
+        self.markings = []
+
+    def exchange(self, packet):
+        self.markings.append(packet.ecn)
+        return self.server.handle_datagram(packet)
+
+
+def make_server(quirk=MirrorQuirk.NONE):
+    return QuicServerStack(
+        StackBehavior(stack_label="t", mirror_quirk=quirk),
+        lambda _raw: HttpResponse(),
+    )
+
+
+def run(config, seed=1):
+    server = make_server()
+    wire = RecordingWire(server)
+    client = QuicClient(wire, config, rng=RngStream(seed, "grease-test"))
+    client.fetch("203.0.113.1", HttpRequest(authority="www.example.com"))
+    return client, wire, server
+
+
+def test_disabled_ecn_client_sends_only_not_ect():
+    client, wire, server = run(QuicClientConfig(enable_ecn=False))
+    assert all(m is ECN.NOT_ECT for m in wire.markings)
+    assert client.result.marked_sent == 0
+    assert server.observed_marked_arrivals == 0
+
+
+def test_greasing_marks_some_packets():
+    client, wire, server = run(
+        QuicClientConfig(
+            enable_ecn=False,
+            grease_ecn=True,
+            grease_probability=0.5,
+            trailing_pings=8,
+        )
+    )
+    assert client.result.greased_sent > 0
+    assert server.observed_marked_arrivals > 0
+    assert any(m is ECN.ECT0 for m in wire.markings)
+
+
+def test_greasing_does_not_feed_validation():
+    client, _wire, _server = run(
+        QuicClientConfig(
+            enable_ecn=False,
+            grease_ecn=True,
+            grease_probability=1.0,
+            trailing_pings=4,
+        )
+    )
+    assert client.result.marked_sent == 0  # validator never saw the grease
+    assert client.result.greased_sent >= 4
+
+
+def test_greasing_probability_zero_is_noop():
+    client, wire, _server = run(
+        QuicClientConfig(enable_ecn=False, grease_ecn=True, grease_probability=0.0)
+    )
+    assert client.result.greased_sent == 0
+    assert all(m is ECN.NOT_ECT for m in wire.markings)
+
+
+def test_greasing_is_deterministic_per_seed():
+    a, _, _ = run(
+        QuicClientConfig(enable_ecn=False, grease_ecn=True, trailing_pings=6), seed=9
+    )
+    b, _, _ = run(
+        QuicClientConfig(enable_ecn=False, grease_ecn=True, trailing_pings=6), seed=9
+    )
+    assert a.result.greased_sent == b.result.greased_sent
+
+
+# ----------------------------------------------------------------------
+# World-level study
+# ----------------------------------------------------------------------
+def test_greasing_study_increases_visibility(small_world):
+    report = run_greasing_study(small_world, max_sites=60)
+    assert report.hosts_scanned == 60
+    assert report.visible_without_grease == 0  # ECN-off baseline is dark
+    assert report.visible_with_grease > 0
+    assert report.visibility_gain > 0.3
+    assert report.greased_packets > 0
+
+
+def test_greasing_cannot_defeat_clearing(small_world):
+    """Hosts behind clearing paths stay dark even with greasing."""
+    cleared_sites = [
+        s for s in small_world.sites
+        if s.group.path_profile == "arelion-clear" and s.group.quic_profile
+    ]
+    assert cleared_sites
+    from repro.extensions.greasing import _scan_visibility
+
+    week = small_world.config.reference_week
+    visible, greased = _scan_visibility(
+        small_world,
+        cleared_sites[0],
+        week,
+        "main-aachen",
+        grease=True,
+        grease_probability=1.0,
+        trailing_pings=6,
+        seed=2,
+    )
+    assert greased > 0
+    assert not visible

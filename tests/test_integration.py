@@ -1,0 +1,112 @@
+"""End-to-end integration: determinism, cross-validation, headline claims."""
+
+import pytest
+
+import repro
+from repro.analysis.classify import ValidationClass, validation_class
+from repro.analysis.tables import table1, table5
+from repro.core.validation import ValidationOutcome
+from repro.web.spec import WorldConfig
+
+
+def test_same_seed_reproduces_identical_tables():
+    config = WorldConfig(scale=20_000)
+    results = []
+    for _ in range(2):
+        world = repro.build_world(config)
+        run = repro.run_weekly_scan(world, world.config.reference_week)
+        results.append(
+            [(r.scope, r.unit, r.total, r.resolved, r.quic, r.mirroring, r.use)
+             for r in table1(run)]
+        )
+    assert results[0] == results[1]
+
+
+def test_different_seed_same_shape():
+    """Seeds only affect names/hashes; quotas pin the shape."""
+    runs = []
+    for seed in (1, 2):
+        world = repro.build_world(WorldConfig(scale=20_000, seed=seed))
+        runs.append(repro.run_weekly_scan(world, world.config.reference_week))
+    counts = []
+    for run in runs:
+        quic = [o for o in run.observations_for("cno") if o.quic_available]
+        counts.append((len(quic), sum(1 for o in quic if o.mirroring)))
+    assert counts[0] == counts[1]
+
+
+def test_headline_claim_full_use_fraction(reference_run):
+    """Paper conclusion: only ~0.22 % of IPv4 QUIC domains can actually
+    use ECN on the forward path."""
+    quic = [o for o in reference_run.observations_for("cno") if o.quic_available]
+    capable = [
+        o for o in quic
+        if o.quic.validation_outcome is ValidationOutcome.CAPABLE
+    ]
+    share = len(capable) / len(quic)
+    assert 0.001 < share < 0.005
+
+
+def test_mirroring_but_failed_validation_dominates(reference_run):
+    """Paper: in 96 % of mirroring cases, validation fails."""
+    quic = [o for o in reference_run.observations_for("cno") if o.quic_available]
+    mirroring = [o for o in quic if o.mirroring]
+    failed = [
+        o for o in mirroring
+        if o.quic.validation_outcome is not ValidationOutcome.CAPABLE
+    ]
+    assert len(failed) / len(mirroring) > 0.9
+
+
+def test_support_flags_consistent_with_outcomes(reference_run):
+    for obs in reference_run.observations_for("cno"):
+        if obs.quic is None:
+            continue
+        support = obs.support
+        if support.capable:
+            assert support.mirroring, "capable implies mirroring"
+        if not obs.quic.connected:
+            assert validation_class(obs) is ValidationClass.UNAVAILABLE
+
+
+def test_validation_class_totals_partition_quic_domains(reference_run):
+    from collections import Counter
+
+    counter = Counter(
+        validation_class(obs)
+        for obs in reference_run.observations_for("cno")
+        if obs.quic_available
+    )
+    quic_total = sum(
+        1 for o in reference_run.observations_for("cno") if o.quic_available
+    )
+    assert sum(counter.values()) == quic_total
+    assert ValidationClass.UNAVAILABLE not in counter
+
+
+def test_tracebox_and_transport_mostly_agree_on_clearing(shape_world, reference_run):
+    """Traced clearing normally implies non-mirroring transport; the only
+    exception is ECMP divergence, where the transport flow rides a
+    re-marking sibling while the probe flow rides a clearing one —
+    exactly the §7.3 load-balancing artifact (Table 7's Not-ECT cells)."""
+    from repro.tracebox.classify import PathImpairment
+
+    divergent = 0
+    for site_index, summary in reference_run.traces.items():
+        if summary.impairment is not PathImpairment.CLEARED:
+            continue
+        record = reference_run.site_records[site_index]
+        if record.quic.mirroring:
+            assert (
+                record.quic.validation_outcome is ValidationOutcome.WRONG_CODEPOINT
+            )
+            divergent += 1
+    assert divergent > 0  # the artifact must actually occur in the world
+
+
+def test_virtual_clock_advances_monotonically(shape_world):
+    start = shape_world.clock.now
+    repro.run_weekly_scan(
+        shape_world, shape_world.config.reference_week, populations=("toplist",)
+    )
+    assert shape_world.clock.now > start

@@ -1,0 +1,107 @@
+"""L4S dual-queue, congestion controllers, and the §9.3 experiment."""
+
+import pytest
+
+from repro.core.codepoints import ECN
+from repro.l4s.aqm import DualQueueAqm
+from repro.l4s.cc import ClassicSender, ScalableSender
+from repro.l4s.experiment import run_l4s_experiment
+from repro.util.rng import RngStream
+
+
+# ----------------------------------------------------------------------
+# AQM
+# ----------------------------------------------------------------------
+def test_ect1_classifies_as_l4s():
+    aqm = DualQueueAqm()
+    assert aqm.classify(ECN.ECT1)
+    assert not aqm.classify(ECN.ECT0)
+    assert not aqm.classify(ECN.NOT_ECT)
+
+
+def test_l4s_ramp_is_steeper():
+    aqm = DualQueueAqm()
+    for load in (0.3, 0.5, 0.8, 1.2):
+        assert aqm.marking_probability(load, l4s=True) >= aqm.marking_probability(
+            load, l4s=False
+        )
+
+
+def test_no_marking_below_targets():
+    aqm = DualQueueAqm()
+    assert aqm.marking_probability(0.1, l4s=True) == 0.0
+    assert aqm.marking_probability(0.5, l4s=False) == 0.0
+
+
+def test_underloaded_round_marks_nothing():
+    aqm = DualQueueAqm(capacity=1000)
+    rng = RngStream(1, "t")
+    classic, l4s = aqm.process_round(10, 10, rng)
+    assert classic == 0 and l4s == 0
+
+
+def test_moderate_load_marks_only_l4s():
+    """At moderate load the L4S ramp is active while classic stays idle."""
+    rng = RngStream(1, "t")
+    aqm = DualQueueAqm(capacity=120)
+    classic_total = l4s_total = 0
+    for _ in range(20):
+        classic, l4s = aqm.process_round(30, 30, rng)
+        classic_total += classic
+        l4s_total += l4s
+    assert classic_total == 0
+    assert l4s_total > 0
+
+
+# ----------------------------------------------------------------------
+# Congestion controllers
+# ----------------------------------------------------------------------
+def test_classic_halves_on_any_mark():
+    sender = ClassicSender(cwnd=16)
+    sender.on_round(sent=16, ce_marks=1)
+    assert sender.cwnd == 8
+
+
+def test_classic_additive_increase():
+    sender = ClassicSender(cwnd=10)
+    sender.on_round(sent=10, ce_marks=0)
+    assert sender.cwnd == 11
+
+
+def test_scalable_reacts_proportionally():
+    gentle = ScalableSender(cwnd=16)
+    gentle.on_round(sent=16, ce_marks=1)
+    harsh = ScalableSender(cwnd=16)
+    harsh.on_round(sent=16, ce_marks=16)
+    assert harsh.cwnd < gentle.cwnd < 16
+
+
+def test_cwnd_never_below_minimum():
+    sender = ClassicSender(cwnd=1.2)
+    for _ in range(5):
+        sender.on_round(sent=1, ce_marks=1)
+    assert sender.cwnd >= sender.min_cwnd
+
+
+# ----------------------------------------------------------------------
+# The §9.3 experiment
+# ----------------------------------------------------------------------
+def test_remarking_penalises_classic_traffic():
+    healthy = run_l4s_experiment(remark_classic=False)
+    impaired = run_l4s_experiment(remark_classic=True)
+    # Re-marked classic traffic is punished by the L4S ramp ...
+    assert impaired.classic_delivered < 0.7 * healthy.classic_delivered
+    # ... and its share of the shared link collapses.
+    assert impaired.classic_share < healthy.classic_share
+
+
+def test_remarking_increases_marked_rounds():
+    healthy = run_l4s_experiment(remark_classic=False)
+    impaired = run_l4s_experiment(remark_classic=True)
+    assert impaired.classic_marked_rounds > healthy.classic_marked_rounds
+
+
+def test_experiment_is_deterministic():
+    a = run_l4s_experiment(remark_classic=True, seed=3)
+    b = run_l4s_experiment(remark_classic=True, seed=3)
+    assert a == b

@@ -1,0 +1,243 @@
+"""Network simulator: packets, hops, paths, ICMP, ECMP, epochs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.codepoints import ECN
+from repro.netsim.clock import Clock
+from repro.netsim.hops import EcnAction, IcmpPolicy, Router
+from repro.netsim.network import Network, PathTemplate
+from repro.netsim.packet import FlowKey, IpPacket, UdpPayload, make_tcp_packet, make_udp_packet
+from repro.netsim.path import NetworkPath
+from repro.util.rng import RngStream
+from repro.util.weeks import Week
+
+
+def make_router(name="r", asn=100, action=EcnAction.PASS, **kwargs) -> Router:
+    return Router(name=name, asn=asn, address=f"10.0.0.{asn % 250}", ecn_action=action, **kwargs)
+
+
+def rng() -> RngStream:
+    return RngStream(1, "test")
+
+
+# ----------------------------------------------------------------------
+# Packets
+# ----------------------------------------------------------------------
+def test_udp_packet_construction():
+    packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1000, 443, b"x", ecn=ECN.ECT0)
+    assert packet.ecn is ECN.ECT0
+    assert packet.flow_key == FlowKey("1.1.1.1", "2.2.2.2", 1000, 443, "udp")
+
+
+def test_tcp_packet_flags():
+    packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 443, syn=True, ece=True, cwr=True)
+    assert packet.payload.syn and packet.payload.ece and packet.payload.cwr
+
+
+def test_ecn_setter_preserves_dscp():
+    packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, None, dscp=46)
+    packet.ecn = ECN.CE
+    assert packet.ecn is ECN.CE
+    assert packet.tos >> 2 == 46
+
+
+def test_clone_is_independent():
+    packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, b"data", ecn=ECN.ECT0)
+    copy = packet.clone()
+    copy.ecn = ECN.CE
+    copy.ttl = 1
+    assert packet.ecn is ECN.ECT0
+    assert packet.ttl == 64
+
+
+def test_bad_version_rejected():
+    with pytest.raises(ValueError):
+        IpPacket(version=5, src="a", dst="b", ttl=3, tos=0)
+
+
+def test_flow_key_reversal():
+    key = FlowKey("a", "b", 1, 2, "udp")
+    assert key.reversed() == FlowKey("b", "a", 2, 1, "udp")
+
+
+# ----------------------------------------------------------------------
+# Hop ECN actions
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "action,sent,expected",
+    [
+        (EcnAction.PASS, ECN.ECT0, ECN.ECT0),
+        (EcnAction.CLEAR_ECN, ECN.ECT0, ECN.NOT_ECT),
+        (EcnAction.CLEAR_ECN, ECN.CE, ECN.NOT_ECT),
+        (EcnAction.BLEACH_TOS, ECN.ECT0, ECN.NOT_ECT),
+        (EcnAction.REMARK_ECT1, ECN.ECT0, ECN.ECT1),
+        (EcnAction.REMARK_ECT1, ECN.ECT1, ECN.ECT1),
+        (EcnAction.REMARK_ECT1, ECN.CE, ECN.CE),
+        (EcnAction.ZERO_ECT1, ECN.ECT1, ECN.NOT_ECT),
+        (EcnAction.ZERO_ECT1, ECN.ECT0, ECN.ECT0),
+        (EcnAction.CE_MARK_ALL, ECN.NOT_ECT, ECN.CE),
+    ],
+)
+def test_ecn_actions(action, sent, expected):
+    packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, None, ecn=sent)
+    make_router(action=action).apply_ecn_action(packet, rng())
+    assert packet.ecn is expected
+
+
+def test_bleach_clears_dscp_too():
+    packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, None, ecn=ECN.ECT0, dscp=46)
+    make_router(action=EcnAction.BLEACH_TOS).apply_ecn_action(packet, rng())
+    assert packet.tos == 0
+
+
+def test_aqm_marks_only_ect_packets():
+    router = make_router(aqm_ce_probability=1.0)
+    ect = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, None, ecn=ECN.ECT0)
+    router.apply_ecn_action(ect, rng())
+    assert ect.ecn is ECN.CE
+    plain = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, None, ecn=ECN.NOT_ECT)
+    router.apply_ecn_action(plain, rng())
+    assert plain.ecn is ECN.NOT_ECT
+
+
+def test_ect_blackholing():
+    router = make_router(drop_if_ect=True)
+    marked = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, None, ecn=ECN.ECT0)
+    unmarked = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, None)
+    assert router.drops(marked, rng())
+    assert not router.drops(unmarked, rng())
+
+
+def test_icmp_rate_limiting():
+    router = make_router()
+    router.icmp_policy = IcmpPolicy(responds=True, rate_per_second=1.0, burst=2)
+    router.__post_init__()
+    assert router.may_send_icmp(0.0)
+    assert router.may_send_icmp(0.0)
+    assert not router.may_send_icmp(0.0)  # burst exhausted
+    assert router.may_send_icmp(5.0)  # refilled
+
+
+def test_silent_router_never_answers():
+    router = make_router()
+    router.icmp_policy = IcmpPolicy(responds=False)
+    assert not router.may_send_icmp(10.0)
+
+
+# ----------------------------------------------------------------------
+# Path traversal
+# ----------------------------------------------------------------------
+def test_delivery_applies_all_transforms():
+    path = NetworkPath(
+        hops=[
+            make_router("a", 1),
+            make_router("b", 2, EcnAction.REMARK_ECT1),
+            make_router("c", 3),
+        ]
+    )
+    packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, None, ecn=ECN.ECT0)
+    result = path.traverse(packet, Clock(), rng())
+    assert result.delivered is not None
+    assert result.delivered.ecn is ECN.ECT1
+    assert packet.ecn is ECN.ECT0  # input not mutated
+
+
+def test_ttl_expiry_generates_icmp_with_upstream_transforms():
+    path = NetworkPath(
+        hops=[
+            make_router("a", 1),
+            make_router("b", 2, EcnAction.CLEAR_ECN),
+            make_router("c", 3),
+        ]
+    )
+    packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, None, ecn=ECN.ECT0, ttl=3)
+    result = path.traverse(packet, Clock(), rng())
+    # ttl 3 expires at hop index 2 ("c"); quote shows b's clearing.
+    assert result.icmp is not None
+    assert result.icmp.router_name == "c"
+    assert result.icmp.quote.ecn is ECN.NOT_ECT
+
+
+def test_quote_before_transforming_hop_shows_original():
+    path = NetworkPath(
+        hops=[
+            make_router("a", 1),
+            make_router("b", 2, EcnAction.CLEAR_ECN),
+        ]
+    )
+    packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, None, ecn=ECN.ECT0, ttl=2)
+    result = path.traverse(packet, Clock(), rng())
+    assert result.icmp.router_name == "b"
+    assert result.icmp.quote.ecn is ECN.ECT0  # b quotes the packet pre-rewrite
+
+
+def test_loss_at_hop():
+    path = NetworkPath(hops=[make_router("a", 1, drop_probability=1.0)])
+    packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, None)
+    result = path.traverse(packet, Clock(), rng())
+    assert result.lost
+
+
+def test_empty_path_rejected():
+    with pytest.raises(ValueError):
+        NetworkPath(hops=[])
+
+
+# ----------------------------------------------------------------------
+# Network / ECMP / epochs
+# ----------------------------------------------------------------------
+def _path_with_action(action):
+    return NetworkPath(hops=[make_router("x", 9, action)])
+
+
+def test_ecmp_selection_is_stable():
+    template = PathTemplate(
+        name="t",
+        variants=[_path_with_action(EcnAction.PASS), _path_with_action(EcnAction.CLEAR_ECN)],
+    )
+    flow = FlowKey("1.1.1.1", "2.2.2.2", 1234, 443, "udp")
+    assert template.select(flow) is template.select(flow)
+
+
+def test_ecmp_different_flows_can_diverge():
+    template = PathTemplate(
+        name="t",
+        variants=[_path_with_action(EcnAction.PASS), _path_with_action(EcnAction.CLEAR_ECN)],
+    )
+    chosen = {
+        id(template.select(FlowKey("1.1.1.1", "2.2.2.2", sport, 443, "udp")))
+        for sport in range(64)
+    }
+    assert len(chosen) == 2  # both members used across flows
+
+
+def test_route_epochs_switch_at_week():
+    clock = Clock()
+    network = Network(clock, rng())
+    clean = PathTemplate(name="clean", variants=[_path_with_action(EcnAction.PASS)])
+    dirty = PathTemplate(name="dirty", variants=[_path_with_action(EcnAction.CLEAR_ECN)])
+    network.register("vp", "dst", clean)
+    network.register("vp", "dst", dirty, start=Week(2022, 48))
+    packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 443, None, ecn=ECN.ECT0)
+    before = network.send("vp", "dst", packet, Week(2022, 30))
+    after = network.send("vp", "dst", packet, Week(2023, 10))
+    assert before.delivered.ecn is ECN.ECT0
+    assert after.delivered.ecn is ECN.NOT_ECT
+
+
+def test_unknown_route_raises():
+    network = Network(Clock(), rng())
+    with pytest.raises(KeyError):
+        network.template_for("vp", "nowhere", Week(2023, 1))
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=63))
+def test_weighted_ecmp_respects_variant_count(n_variants, sport):
+    template = PathTemplate(
+        name="w",
+        variants=[_path_with_action(EcnAction.PASS) for _ in range(n_variants)],
+        weights=[1.0] * n_variants,
+    )
+    flow = FlowKey("1.1.1.1", "2.2.2.2", sport, 443, "udp")
+    assert template.select(flow) in template.variants

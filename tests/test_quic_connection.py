@@ -1,0 +1,213 @@
+"""Client connection against emulated stacks over a loopback wire."""
+
+import pytest
+
+from repro.core.codepoints import ECN
+from repro.core.validation import ValidationConfig, ValidationOutcome
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.netsim.clock import Clock
+from repro.netsim.hops import EcnAction, Router
+from repro.netsim.path import NetworkPath
+from repro.quic.connection import QuicClient, QuicClientConfig
+from repro.quic.versions import QuicVersion
+from repro.quicstacks.base import MirrorQuirk, QuicServerStack, StackBehavior
+from repro.util.rng import RngStream
+
+REQUEST = HttpRequest(authority="www.example.com")
+
+
+class DirectWire:
+    """Loopback: client datagrams go straight to the server stack."""
+
+    def __init__(self, server: QuicServerStack):
+        self.server = server
+
+    def exchange(self, packet):
+        return self.server.handle_datagram(packet)
+
+
+class PathWire:
+    """Wire with a forward path of impairing routers."""
+
+    def __init__(self, server: QuicServerStack, path: NetworkPath):
+        self.server = server
+        self.path = path
+        self.clock = Clock()
+        self.rng = RngStream(7, "pathwire")
+
+    def exchange(self, packet):
+        result = self.path.traverse(packet, self.clock, self.rng)
+        if result.delivered is None:
+            return []
+        return self.server.handle_datagram(result.delivered)
+
+
+def make_server(quirk=MirrorQuirk.CORRECT, **kwargs) -> QuicServerStack:
+    behavior = StackBehavior(
+        stack_label="test",
+        server_header="nginx",
+        mirror_quirk=quirk,
+        **kwargs,
+    )
+    return QuicServerStack(behavior, lambda _raw: HttpResponse(status=200))
+
+
+def run_client(server, path=None, probe=ECN.ECT0) -> "QuicClient":
+    wire = DirectWire(server) if path is None else PathWire(server, path)
+    client = QuicClient(
+        wire,
+        QuicClientConfig(
+            validation=ValidationConfig(probe_codepoint=probe),
+        ),
+    )
+    client.fetch("203.0.113.7", REQUEST)
+    return client
+
+
+# ----------------------------------------------------------------------
+# Happy path
+# ----------------------------------------------------------------------
+def test_correct_stack_validates_capable():
+    client = run_client(make_server())
+    result = client.result
+    assert result.connected
+    assert result.mirroring
+    assert result.validation_outcome is ValidationOutcome.CAPABLE
+    assert result.version is QuicVersion.V1
+    assert result.server_header == "nginx"
+    assert result.response_status == 200
+
+
+def test_client_sends_exactly_testing_budget_marked():
+    client = run_client(make_server())
+    assert client.result.marked_sent == 5  # 1 initial + 1 handshake + 3 request
+
+
+def test_transport_parameter_fingerprint_captured():
+    client = run_client(make_server())
+    assert client.result.transport_fingerprint is not None
+
+
+# ----------------------------------------------------------------------
+# Stack quirks -> validation outcomes (the paper's Table 5 mechanisms)
+# ----------------------------------------------------------------------
+def test_none_quirk_is_no_mirroring():
+    client = run_client(make_server(MirrorQuirk.NONE))
+    result = client.result
+    assert result.connected
+    assert not result.mirroring
+    assert result.validation_outcome is ValidationOutcome.NO_MIRRORING
+
+
+def test_pn_space_reset_quirk_is_undercount():
+    """lsquic's ECN-flag-off bug: mirrors in the handshake, loses 1-RTT."""
+    client = run_client(make_server(MirrorQuirk.PN_SPACE_RESET))
+    result = client.result
+    assert result.mirroring  # counters were seen at first ...
+    assert result.validation_outcome is ValidationOutcome.UNDERCOUNT
+
+
+def test_halved_quirk_is_undercount():
+    client = run_client(make_server(MirrorQuirk.HALVED))
+    assert client.result.validation_outcome is ValidationOutcome.UNDERCOUNT
+    assert client.result.mirroring
+
+
+def test_swapped_quirk_is_wrong_codepoint():
+    client = run_client(make_server(MirrorQuirk.SWAPPED))
+    assert client.result.validation_outcome is ValidationOutcome.WRONG_CODEPOINT
+    assert client.result.mirroring
+
+
+def test_all_ce_quirk_detected():
+    client = run_client(make_server(MirrorQuirk.ALL_CE))
+    assert client.result.validation_outcome is ValidationOutcome.ALL_CE
+
+
+def test_decreasing_quirk_is_non_monotonic():
+    client = run_client(make_server(MirrorQuirk.DECREASING))
+    assert client.result.validation_outcome is ValidationOutcome.NON_MONOTONIC
+
+
+def test_use_ecn_observed_on_inbound():
+    client = run_client(make_server(use_ecn=True))
+    assert client.result.server_set_ect
+    assert client.result.inbound_ecn_counts.ect0 > 0
+
+
+def test_no_use_no_inbound_ect():
+    client = run_client(make_server(use_ecn=False))
+    assert not client.result.server_set_ect
+
+
+# ----------------------------------------------------------------------
+# Path impairments -> validation outcomes (the paper's §6/§7 mechanisms)
+# ----------------------------------------------------------------------
+def _path(action: EcnAction) -> NetworkPath:
+    return NetworkPath(
+        hops=[
+            Router(name="a", asn=1299, address="10.0.0.1"),
+            Router(name="b", asn=1299, address="10.0.0.2", ecn_action=action),
+            Router(name="c", asn=64500, address="10.0.0.3"),
+        ]
+    )
+
+
+def test_clearing_path_hides_mirroring():
+    client = run_client(make_server(), path=_path(EcnAction.CLEAR_ECN))
+    result = client.result
+    assert result.connected
+    assert not result.mirroring
+    assert result.validation_outcome is ValidationOutcome.NO_MIRRORING
+
+
+def test_remarking_path_fails_validation():
+    client = run_client(make_server(), path=_path(EcnAction.REMARK_ECT1))
+    assert client.result.validation_outcome is ValidationOutcome.WRONG_CODEPOINT
+
+
+def test_ce_marking_path_fails_as_all_ce():
+    client = run_client(make_server(), path=_path(EcnAction.CE_MARK_ALL))
+    assert client.result.validation_outcome is ValidationOutcome.ALL_CE
+
+
+def test_ect_blackholing_path():
+    path = NetworkPath(
+        hops=[Router(name="bh", asn=1, address="10.0.0.9", drop_if_ect=True)]
+    )
+    client = run_client(make_server(), path=path)
+    result = client.result
+    assert not result.connected
+    assert result.validation_outcome is ValidationOutcome.BLACKHOLE
+
+
+def test_clean_path_validates():
+    client = run_client(make_server(), path=_path(EcnAction.PASS))
+    assert client.result.validation_outcome is ValidationOutcome.CAPABLE
+
+
+def test_remark_path_with_ce_probe_unaffected():
+    """CE probing (§6.3) is blind to ECT(0)->ECT(1) re-marking."""
+    client = run_client(make_server(), path=_path(EcnAction.REMARK_ECT1), probe=ECN.CE)
+    assert client.result.validation_outcome is ValidationOutcome.CAPABLE
+
+
+def test_clearing_path_with_ce_probe_hides_mirroring():
+    client = run_client(make_server(), path=_path(EcnAction.CLEAR_ECN), probe=ECN.CE)
+    assert client.result.validation_outcome is ValidationOutcome.NO_MIRRORING
+
+
+# ----------------------------------------------------------------------
+# Version negotiation
+# ----------------------------------------------------------------------
+def test_version_negotiation_falls_back_to_draft():
+    client = run_client(make_server(version=QuicVersion.DRAFT_27))
+    result = client.result
+    assert result.connected
+    assert result.version is QuicVersion.DRAFT_27
+
+
+def test_disabled_server_yields_unconnected():
+    client = run_client(make_server(quic_enabled=False))
+    assert not client.result.connected
+    assert client.result.error is not None

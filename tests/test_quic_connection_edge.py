@@ -1,0 +1,165 @@
+"""Connection edge cases: loss, retransmission, fuzzing, dedup."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codepoints import ECN
+from repro.core.validation import ValidationOutcome
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.netsim.clock import Clock
+from repro.netsim.hops import Router
+from repro.netsim.path import NetworkPath
+from repro.quic.connection import QuicClient, QuicClientConfig
+from repro.quicstacks.base import MirrorQuirk, QuicServerStack, StackBehavior
+from repro.util.rng import RngStream
+
+REQUEST = HttpRequest(authority="www.example.com")
+
+
+def make_server(quirk=MirrorQuirk.CORRECT, **kwargs):
+    return QuicServerStack(
+        StackBehavior(stack_label="t", mirror_quirk=quirk, **kwargs),
+        lambda _raw: HttpResponse(status=200),
+    )
+
+
+class LossyWire:
+    """Drops the first ``drop_first`` client packets, then none."""
+
+    def __init__(self, server, drop_first=0):
+        self.server = server
+        self.remaining_drops = drop_first
+        self.exchanges = 0
+
+    def exchange(self, packet):
+        self.exchanges += 1
+        if self.remaining_drops > 0:
+            self.remaining_drops -= 1
+            return []
+        return self.server.handle_datagram(packet)
+
+
+class DuplicatingWire:
+    """Delivers every server response twice (network duplication)."""
+
+    def __init__(self, server):
+        self.server = server
+
+    def exchange(self, packet):
+        replies = self.server.handle_datagram(packet)
+        return replies + [r.clone() for r in replies]
+
+
+def test_single_initial_loss_recovers_via_retransmission():
+    server = make_server()
+    wire = LossyWire(server, drop_first=1)
+    client = QuicClient(wire, QuicClientConfig(initial_retransmissions=1))
+    result = client.fetch("203.0.113.1", REQUEST)
+    assert result.connected
+    assert result.validation_outcome is ValidationOutcome.CAPABLE
+
+
+def test_double_initial_loss_fails_with_one_retransmission():
+    """The paper's reduced retransmission budget (§4.4) in action."""
+    server = make_server()
+    wire = LossyWire(server, drop_first=2)
+    client = QuicClient(wire, QuicClientConfig(initial_retransmissions=1))
+    result = client.fetch("203.0.113.1", REQUEST)
+    assert not result.connected
+
+
+def test_double_initial_loss_recovers_with_two_retransmissions():
+    server = make_server()
+    wire = LossyWire(server, drop_first=2)
+    client = QuicClient(wire, QuicClientConfig(initial_retransmissions=2))
+    result = client.fetch("203.0.113.1", REQUEST)
+    assert result.connected
+
+
+def test_duplicated_responses_do_not_break_validation():
+    """Duplicate ACKs re-deliver the same cumulative counters; the
+    validator must treat them as idempotent, not double-count."""
+    client = QuicClient(DuplicatingWire(make_server()), QuicClientConfig())
+    result = client.fetch("203.0.113.1", REQUEST)
+    assert result.connected
+    assert result.validation_outcome is ValidationOutcome.CAPABLE
+
+
+def test_trailing_pings_are_acked():
+    server = make_server()
+
+    class CountingWire:
+        def __init__(self):
+            self.count = 0
+
+        def exchange(self, packet):
+            self.count += 1
+            return server.handle_datagram(packet)
+
+    wire = CountingWire()
+    client = QuicClient(wire, QuicClientConfig(trailing_pings=3))
+    result = client.fetch("203.0.113.1", REQUEST)
+    assert result.connected
+    # initial + handshake + 3 request + 3 pings + close = 9 exchanges
+    assert wire.count == 9
+
+
+def test_mid_connection_loss_of_request_packet():
+    """Loss after the handshake: the lost packet consumes a timeout but
+    the retransmission completes the request."""
+    server = make_server()
+
+    class DropThirdWire:
+        def __init__(self):
+            self.count = 0
+
+        def exchange(self, packet):
+            self.count += 1
+            if self.count == 3:  # first request packet
+                return []
+            return server.handle_datagram(packet)
+
+    client = QuicClient(DropThirdWire(), QuicClientConfig())
+    result = client.fetch("203.0.113.1", REQUEST)
+    assert result.connected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    quirk=st.sampled_from(list(MirrorQuirk)),
+    use_ecn=st.booleans(),
+    drop_first=st.integers(min_value=0, max_value=3),
+    grease=st.booleans(),
+)
+def test_fuzz_client_never_raises_and_always_terminal(quirk, use_ecn, drop_first, grease):
+    """Whatever the server/network does, the client produces a terminal
+    validation outcome and never leaks an exception."""
+    server = make_server(quirk, use_ecn=use_ecn)
+    wire = LossyWire(server, drop_first=drop_first)
+    client = QuicClient(
+        wire,
+        QuicClientConfig(grease_ecn=grease, initial_retransmissions=1),
+        rng=RngStream(1, "fuzz"),
+    )
+    result = client.fetch("203.0.113.1", REQUEST)
+    assert result.validation_outcome is not ValidationOutcome.PENDING
+    if result.connected and quirk is MirrorQuirk.CORRECT and drop_first == 0:
+        assert result.validation_outcome is ValidationOutcome.CAPABLE
+
+
+def test_random_loss_path_statistics():
+    """base_loss drops roughly the configured share of packets."""
+    path = NetworkPath(
+        hops=[Router(name="r", asn=1, address="10.0.0.1")], base_loss=0.3
+    )
+    clock = Clock()
+    rng = RngStream(5, "loss-stats")
+    from repro.netsim.packet import make_udp_packet
+
+    lost = sum(
+        path.traverse(
+            make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, None), clock, rng
+        ).lost
+        for _ in range(2_000)
+    )
+    assert 0.25 < lost / 2_000 < 0.35

@@ -1,0 +1,139 @@
+"""Stack registry timelines (the paper's §5.3 reconstruction)."""
+
+import pytest
+
+from repro.quic.versions import QuicVersion
+from repro.quicstacks.base import MirrorQuirk
+from repro.quicstacks.registry import (
+    CLOUDFRONT_H3_LAUNCH,
+    GOOGLE_TEST_EARLY,
+    GOOGLE_TEST_MAIN,
+    LSQUIC_40_RELEASE,
+    StackRegistry,
+    default_registry,
+)
+from repro.util.weeks import Week
+
+JUN_22 = Week(2022, 22)
+FEB_23 = Week(2023, 5)
+APR_23 = Week(2023, 15)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+def test_duplicate_registration_rejected():
+    registry = StackRegistry()
+    registry.register("x", lambda week: None)
+    with pytest.raises(ValueError):
+        registry.register("x", lambda week: None)
+
+
+def test_unknown_profile_raises(registry):
+    with pytest.raises(KeyError):
+        registry.behavior("nope", JUN_22)
+
+
+def test_all_profiles_resolve_for_all_epochs(registry):
+    for key in registry.keys():
+        for week in (JUN_22, FEB_23, APR_23):
+            behavior = registry.behavior(key, week)
+            assert behavior.stack_label
+
+
+# ----------------------------------------------------------------------
+# LiteSpeed timeline (Figure 3/4 mechanics)
+# ----------------------------------------------------------------------
+def test_lsquic_d27_era_mirrors_on_draft27(registry):
+    behavior = registry.behavior("lsquic-d27-upgrade-flagoff", JUN_22)
+    assert behavior.version is QuicVersion.DRAFT_27
+    assert behavior.mirror_quirk is not MirrorQuirk.NONE
+
+
+def test_lsquic_upgrade_drops_ecn(registry):
+    behavior = registry.behavior("lsquic-d27-upgrade-flagoff", FEB_23)
+    assert behavior.version is QuicVersion.V1
+    assert behavior.mirror_quirk is MirrorQuirk.NONE
+
+
+def test_lsquic_40_reenables_ecn_with_flag_bug(registry):
+    behavior = registry.behavior("lsquic-d27-upgrade-flagoff", APR_23)
+    assert behavior.version is QuicVersion.V1
+    assert behavior.mirror_quirk is MirrorQuirk.PN_SPACE_RESET
+
+
+def test_lsquic_flag_on_mirrors_correctly_after_40(registry):
+    behavior = registry.behavior("lsquic-v1-flagon", APR_23)
+    assert behavior.mirror_quirk is MirrorQuirk.CORRECT
+    before = registry.behavior("lsquic-v1-flagon", FEB_23)
+    assert before.mirror_quirk is MirrorQuirk.NONE
+
+
+def test_lsquic_gone_fleet_disables_quic(registry):
+    assert registry.behavior("lsquic-d27-gone", JUN_22).quic_enabled
+    assert not registry.behavior("lsquic-d27-gone", APR_23).quic_enabled
+
+
+def test_lsquic_noheader_variant_hides_server(registry):
+    behavior = registry.behavior("lsquic-v1-flagoff-noheader", APR_23)
+    assert behavior.server_header is None
+    # ... but keeps the fingerprintable LiteSpeed transport parameters.
+    labelled = registry.behavior("lsquic-v1-flagoff", APR_23)
+    assert behavior.transport_params == labelled.transport_params
+
+
+def test_lsquic_use_variant_sets_ect_only_after_40(registry):
+    assert not registry.behavior("lsquic-v1-flagoff-use", FEB_23).use_ecn
+    assert registry.behavior("lsquic-v1-flagoff-use", APR_23).use_ecn
+
+
+# ----------------------------------------------------------------------
+# Google timeline
+# ----------------------------------------------------------------------
+def test_google_own_never_mirrors(registry):
+    for week in (JUN_22, FEB_23, APR_23):
+        assert registry.behavior("google-own", week).mirror_quirk is MirrorQuirk.NONE
+
+
+def test_pepyaka_headers(registry):
+    behavior = registry.behavior("pepyaka-undercount", APR_23)
+    assert behavior.server_header == "Pepyaka"
+    assert behavior.via_header == "1.1 google"
+
+
+def test_pepyaka_early_test_starts_in_january(registry):
+    before = registry.behavior("pepyaka-undercount-early", Week(2023, 2))
+    after = registry.behavior("pepyaka-undercount-early", GOOGLE_TEST_EARLY)
+    assert before.mirror_quirk is MirrorQuirk.NONE
+    assert after.mirror_quirk is MirrorQuirk.HALVED
+
+
+def test_pepyaka_main_test_starts_in_march(registry):
+    before = registry.behavior("pepyaka-remark", Week(2023, 8))
+    after = registry.behavior("pepyaka-remark", GOOGLE_TEST_MAIN)
+    assert before.mirror_quirk is MirrorQuirk.NONE
+    assert after.mirror_quirk is MirrorQuirk.SWAPPED
+
+
+# ----------------------------------------------------------------------
+# CDNs and Amazon
+# ----------------------------------------------------------------------
+def test_cloudflare_fastly_never_mirror(registry):
+    for key in ("cloudflare", "fastly"):
+        for week in (JUN_22, APR_23):
+            assert registry.behavior(key, week).mirror_quirk is MirrorQuirk.NONE
+
+
+def test_cloudfront_launches_http3_in_august(registry):
+    before = registry.behavior("s2n-quic", Week(2022, 30))
+    after = registry.behavior("s2n-quic", CLOUDFRONT_H3_LAUNCH)
+    assert not before.quic_enabled
+    assert after.quic_enabled
+    assert after.mirror_quirk is MirrorQuirk.CORRECT
+    assert after.use_ecn
+
+
+def test_timeline_ordering():
+    assert GOOGLE_TEST_EARLY < GOOGLE_TEST_MAIN < LSQUIC_40_RELEASE + 1

@@ -1,0 +1,127 @@
+"""Scanner behaviour on representative world sites."""
+
+import pytest
+
+from repro.core.codepoints import ECN
+from repro.core.validation import ValidationOutcome
+from repro.quic.versions import QuicVersion
+from repro.scanner.quic_scan import QuicScanConfig, scan_site_quic
+from repro.scanner.tcp_scan import TcpScanConfig, scan_site_tcp
+from repro.util.weeks import Week
+
+
+def site_of(world, provider, group_key):
+    for site in world.sites:
+        if site.provider.name == provider and site.group.key == group_key:
+            return site
+    raise AssertionError(f"no site {provider}/{group_key}")
+
+
+@pytest.fixture(scope="module")
+def week(small_world):
+    return small_world.config.reference_week
+
+
+def test_cloudflare_connects_without_mirroring(small_world, week):
+    result = scan_site_quic(small_world, site_of(small_world, "Cloudflare", "cdn"), week)
+    assert result.connected
+    assert not result.mirroring
+    assert result.validation_outcome is ValidationOutcome.NO_MIRRORING
+    assert result.server_header == "cloudflare"
+
+
+def test_cloudfront_is_capable_and_uses_ecn(small_world, week):
+    result = scan_site_quic(small_world, site_of(small_world, "Amazon", "cloudfront"), week)
+    assert result.validation_outcome is ValidationOutcome.CAPABLE
+    assert result.server_set_ect
+    assert result.server_header == "CloudFront"
+
+
+def test_hostinger_undercount(small_world, week):
+    result = scan_site_quic(small_world, site_of(small_world, "Hostinger", "undercount"), week)
+    assert result.mirroring
+    assert result.validation_outcome is ValidationOutcome.UNDERCOUNT
+
+
+def test_remark_path_yields_wrong_codepoint(small_world, week):
+    result = scan_site_quic(small_world, site_of(small_world, "Hostinger", "remark"), week)
+    assert result.validation_outcome is ValidationOutcome.WRONG_CODEPOINT
+
+
+def test_cleared_path_hides_mirroring(small_world, week):
+    result = scan_site_quic(
+        small_world, site_of(small_world, "Server Central", "use"), week
+    )
+    assert result.connected
+    assert not result.mirroring
+    # ECN *use* remains visible: the server marks its own packets.
+    assert result.server_set_ect
+
+
+def test_d27_stack_negotiates_draft_version(small_world):
+    site = site_of(small_world, "LiteSpeed Hosting A", "stay-d27")
+    result = scan_site_quic(small_world, site, Week(2022, 22))
+    assert result.connected
+    assert result.version is QuicVersion.DRAFT_27
+
+
+def test_gone_fleet_unreachable_after_upgrade(small_world):
+    site = site_of(small_world, "LiteSpeed Hosting A", "gone")
+    before = scan_site_quic(small_world, site, Week(2022, 22))
+    after = scan_site_quic(small_world, site, Week(2023, 15))
+    assert before.connected
+    assert not after.connected
+
+
+def test_ipv6_scan_uses_aaaa(small_world, week):
+    site = site_of(small_world, "Cloudflare", "cdn")
+    result = scan_site_quic(
+        small_world, site, week, config=QuicScanConfig(ip_version=6)
+    )
+    assert result.connected
+
+
+def test_ipv6_scan_without_aaaa_fails(small_world, week):
+    site = site_of(small_world, "Fastly", "cdn")  # no IPv6 in the spec
+    result = scan_site_quic(
+        small_world, site, week, config=QuicScanConfig(ip_version=6)
+    )
+    assert not result.connected
+    assert result.error == "no address for this family"
+
+
+def test_ce_probe_scan(small_world, week):
+    site = site_of(small_world, "Amazon", "cloudfront")
+    result = scan_site_quic(
+        small_world, site, week, config=QuicScanConfig(probe_codepoint=ECN.CE)
+    )
+    assert result.validation_outcome is ValidationOutcome.CAPABLE
+    assert result.mirrored_counts is not None
+    assert result.mirrored_counts.ce >= 5
+
+
+def test_tcp_scan_full_profile(small_world, week):
+    outcome = scan_site_tcp(small_world, site_of(small_world, "Cloudflare", "cdn"), week)
+    assert outcome.connected
+    assert outcome.ecn_negotiated
+    assert outcome.ce_mirrored
+    assert outcome.server_set_ect
+
+
+def test_tcp_scan_google_no_negotiation(small_world, week):
+    outcome = scan_site_tcp(small_world, site_of(small_world, "Google", "own"), week)
+    assert outcome.connected
+    assert not outcome.ecn_negotiated
+
+
+def test_tcp_scan_dark_site_times_out(small_world, week):
+    outcome = scan_site_tcp(small_world, site_of(small_world, "DarkWeb", "dark"), week)
+    assert not outcome.connected
+
+
+def test_scan_is_deterministic(small_world, week):
+    site = site_of(small_world, "Hostinger", "undercount")
+    first = scan_site_quic(small_world, site, week)
+    second = scan_site_quic(small_world, site, week)
+    assert first.validation_outcome is second.validation_outcome
+    assert first.mirrored_counts == second.mirrored_counts

@@ -1,0 +1,159 @@
+"""TCP ECN: negotiation, ECE mirroring, profiles, counters."""
+
+import pytest
+
+from repro.core.codepoints import ECN
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.netsim.packet import IpPacket, TcpPayload, make_udp_packet
+from repro.tcp.client import TcpClientConfig, TcpScanClient
+from repro.tcp.ebpf import CodepointCounter
+from repro.tcp.profiles import TcpProfile
+from repro.tcp.server import TcpServerStack
+
+REQUEST = HttpRequest(authority="www.example.com")
+
+
+class DirectWire:
+    def __init__(self, server: TcpServerStack):
+        self.server = server
+
+    def exchange(self, packet):
+        return self.server.handle_segment(packet)
+
+
+def scan(profile: TcpProfile, probe=ECN.CE, request_ecn=True):
+    server = TcpServerStack(profile, lambda _raw: HttpResponse(status=200))
+    client = TcpScanClient(
+        DirectWire(server),
+        TcpClientConfig(probe_codepoint=probe, request_ecn_setup=request_ecn),
+    )
+    return client.fetch("203.0.113.9", REQUEST)
+
+
+# ----------------------------------------------------------------------
+# Profiles (Figure 6 groups)
+# ----------------------------------------------------------------------
+def test_full_profile_negotiates_mirrors_uses():
+    outcome = scan(TcpProfile.FULL)
+    assert outcome.connected
+    assert outcome.ecn_negotiated
+    assert outcome.ce_mirrored
+    assert outcome.server_set_ect
+
+
+def test_mirror_no_use_profile():
+    outcome = scan(TcpProfile.MIRROR_NO_USE)
+    assert outcome.ecn_negotiated and outcome.ce_mirrored
+    assert not outcome.server_set_ect
+
+
+def test_neg_only_profile_ignores_ce():
+    outcome = scan(TcpProfile.NEG_ONLY)
+    assert outcome.ecn_negotiated
+    assert not outcome.ce_mirrored
+    assert not outcome.server_set_ect
+
+
+def test_neg_use_no_mirror_profile():
+    outcome = scan(TcpProfile.NEG_USE_NO_MIRROR)
+    assert outcome.ecn_negotiated
+    assert not outcome.ce_mirrored
+    assert outcome.server_set_ect
+
+
+def test_no_ecn_profile_does_not_negotiate():
+    outcome = scan(TcpProfile.NO_ECN)
+    assert outcome.connected
+    assert not outcome.ecn_negotiated
+    assert not outcome.ce_mirrored
+    assert not outcome.server_set_ect
+
+
+def test_profile_property_consistency():
+    for profile in TcpProfile:
+        outcome = scan(profile)
+        assert outcome.ecn_negotiated == profile.negotiates
+        assert outcome.ce_mirrored == (profile.mirrors_ce and profile.negotiates)
+        assert outcome.server_set_ect == (profile.uses_ect and profile.negotiates)
+
+
+# ----------------------------------------------------------------------
+# RFC 3168 details
+# ----------------------------------------------------------------------
+def test_no_negotiation_without_client_request():
+    """A server cannot negotiate ECN if the SYN lacks ECE+CWR."""
+    outcome = scan(TcpProfile.FULL, request_ecn=False)
+    assert not outcome.ecn_negotiated
+    assert not outcome.ce_mirrored
+
+
+def test_mirroring_requires_negotiation():
+    """CE arriving on a non-negotiated connection is ignored."""
+    outcome = scan(TcpProfile.FULL, request_ecn=False, probe=ECN.CE)
+    assert not outcome.ce_mirrored
+
+
+def test_syn_ack_is_never_ect():
+    server = TcpServerStack(TcpProfile.FULL, lambda _raw: HttpResponse())
+    syn = IpPacket(
+        version=4,
+        src="192.0.2.1",
+        dst="203.0.113.9",
+        ttl=64,
+        tos=0,
+        payload=TcpPayload(sport=1, dport=443, syn=True, ece=True, cwr=True),
+    )
+    replies = server.handle_segment(syn)
+    assert len(replies) == 1
+    assert replies[0].ecn is ECN.NOT_ECT
+    assert replies[0].payload.ece  # negotiation accepted via flags only
+
+
+def test_ect0_probe_not_mirrored_as_ce():
+    """Plain ECT(0) data does not trigger ECE (only CE does)."""
+    outcome = scan(TcpProfile.FULL, probe=ECN.ECT0)
+    assert not outcome.ce_mirrored
+
+
+def test_cwr_clears_latched_ece():
+    server = TcpServerStack(TcpProfile.FULL, lambda _raw: HttpResponse())
+    syn = IpPacket(
+        version=4, src="c", dst="s", ttl=64, tos=0,
+        payload=TcpPayload(sport=1, dport=443, syn=True, ece=True, cwr=True),
+    )
+    server.handle_segment(syn)
+    ce_data = IpPacket(
+        version=4, src="c", dst="s", ttl=64, tos=int(ECN.CE),
+        payload=TcpPayload(sport=1, dport=443, ack=True, data=b"x"),
+    )
+    replies = server.handle_segment(ce_data)
+    assert any(r.payload.ece for r in replies)
+    cwr_ack = IpPacket(
+        version=4, src="c", dst="s", ttl=64, tos=0,
+        payload=TcpPayload(sport=1, dport=443, ack=True, cwr=True, data=b"y"),
+    )
+    replies = server.handle_segment(cwr_ack)
+    assert not any(r.payload.ece for r in replies)
+
+
+# ----------------------------------------------------------------------
+# eBPF-style counters
+# ----------------------------------------------------------------------
+def test_codepoint_counter_counts_all_codepoints():
+    counter = CodepointCounter()
+    for ecn in (ECN.NOT_ECT, ECN.ECT0, ECN.ECT1, ECN.CE):
+        counter.observe(make_udp_packet("a", "b", 1, 2, None, ecn=ecn))
+    assert (counter.not_ect, counter.ect0, counter.ect1, counter.ce) == (1, 1, 1, 1)
+    assert counter.total == 4
+    assert counter.any_ect
+
+
+def test_codepoint_counter_tracks_tcp_flags():
+    counter = CodepointCounter()
+    packet = IpPacket(
+        version=4, src="a", dst="b", ttl=4, tos=0,
+        payload=TcpPayload(sport=1, dport=2, ece=True, cwr=True),
+    )
+    counter.observe(packet)
+    assert counter.ece_flags == 1
+    assert counter.cwr_flags == 1

@@ -1,0 +1,132 @@
+"""Tracebox probing, classification, attribution, and sampling."""
+
+import pytest
+
+from repro.core.codepoints import ECN
+from repro.tracebox.classify import PathImpairment, classify_trace
+from repro.tracebox.probe import trace_site
+from repro.tracebox.sampling import TraceSampler
+from repro.util.weeks import Week
+from repro.web.paths import AS_ARELION, AS_COGENT
+
+
+def site_of(world, provider, group_key):
+    for site in world.sites:
+        if site.provider.name == provider and site.group.key == group_key:
+            return site
+    raise AssertionError(f"no site {provider}/{group_key}")
+
+
+@pytest.fixture(scope="module")
+def week(small_world):
+    return small_world.config.reference_week
+
+
+def test_clean_path_shows_no_impairment(small_world, week):
+    site = site_of(small_world, "Cloudflare", "cdn")
+    summary = classify_trace(trace_site(small_world, site, week))
+    assert summary.impairment is PathImpairment.NONE
+    assert summary.final_ecn is ECN.ECT0
+    assert not summary.changes
+
+
+def test_clearing_attributed_to_arelion(small_world, week):
+    site = site_of(small_world, "Server Central", "use")
+    summary = classify_trace(trace_site(small_world, site, week))
+    assert summary.impairment is PathImpairment.CLEARED
+    assert summary.culprit_asn == AS_ARELION
+
+
+def test_clearing_absent_before_route_change(small_world):
+    """Server Central was clean via Level3 until December 2022 (§6.1)."""
+    site = site_of(small_world, "Server Central", "use")
+    summary = classify_trace(trace_site(small_world, site, Week(2022, 30)))
+    assert summary.impairment is PathImpairment.NONE
+
+
+def test_remarking_attributed_to_arelion(small_world, week):
+    site = site_of(small_world, "Hostinger", "remark")
+    summary = classify_trace(trace_site(small_world, site, week))
+    assert summary.impairment is PathImpairment.REMARKED_ECT1
+    assert summary.final_ecn is ECN.ECT1
+    assert summary.culprit_asn == AS_ARELION
+
+
+def test_cogent_boundary_is_ambiguous(small_world, week):
+    site = site_of(small_world, "A2 Hosting", "remark")
+    summary = classify_trace(trace_site(small_world, site, week))
+    assert summary.impairment is PathImpairment.REMARKED_ECT1
+    assert summary.culprit_asn is None  # ambiguous
+    assert set(summary.culprit_candidates) == {AS_ARELION, AS_COGENT}
+
+
+def test_remark_then_zero_sequence(small_world, week):
+    site = site_of(small_world, "SmallHost-13", "remark-zerotrace")
+    summary = classify_trace(trace_site(small_world, site, week))
+    assert summary.impairment is PathImpairment.REMARK_THEN_ZERO
+    assert summary.final_ecn is ECN.NOT_ECT
+
+
+def test_google_stack_remark_shows_clean_path(small_world, week):
+    """Re-marking reported by QUIC but no network impairment found:
+    the stack itself flags ECT(1) (§7.3, mainly Google)."""
+    site = site_of(small_world, "Google", "pepyaka-remark")
+    summary = classify_trace(trace_site(small_world, site, week))
+    assert summary.impairment is PathImpairment.NONE
+    assert summary.final_ecn is ECN.ECT0
+
+
+def test_trace_reaches_destination(small_world, week):
+    site = site_of(small_world, "Cloudflare", "cdn")
+    result = trace_site(small_world, site, week)
+    assert result.reached_destination
+    assert result.observed_quotes()
+
+
+def test_trace_requires_address_family(small_world, week):
+    site = site_of(small_world, "Fastly", "cdn")
+    with pytest.raises(ValueError):
+        trace_site(small_world, site, week, ip_version=6)
+
+
+# ----------------------------------------------------------------------
+# Sampling (per-IP once, 20% per-domain trials)
+# ----------------------------------------------------------------------
+def test_sampler_traces_ip_at_most_once():
+    sampler = TraceSampler(week=Week(2023, 15), probability=1.0)
+    assert sampler.should_trace("1.1.1.1", "a.com")
+    assert not sampler.should_trace("1.1.1.1", "b.com")
+    assert sampler.was_traced("1.1.1.1")
+
+
+def test_sampler_probability_zero_never_traces():
+    sampler = TraceSampler(week=Week(2023, 15), probability=0.0)
+    assert not sampler.should_trace("1.1.1.1", "a.com")
+
+
+def test_sampler_rate_approximates_20_percent():
+    sampler = TraceSampler(week=Week(2023, 15))
+    hits = sum(
+        sampler.domain_trial(f"domain-{i}.com") for i in range(5_000)
+    )
+    assert 0.17 < hits / 5_000 < 0.23
+
+
+def test_sampler_heavy_ips_almost_surely_traced():
+    """An IP serving many domains is nearly always tested (§6.1)."""
+    sampler = TraceSampler(week=Week(2023, 15))
+    traced = 0
+    for ip_index in range(50):
+        ip = f"10.0.0.{ip_index}"
+        for domain_index in range(40):
+            if sampler.should_trace(ip, f"d{ip_index}-{domain_index}.com"):
+                traced += 1
+                break
+    assert traced >= 49
+
+
+def test_sampler_is_deterministic():
+    a = TraceSampler(week=Week(2023, 15))
+    b = TraceSampler(week=Week(2023, 15))
+    names = [f"x{i}.com" for i in range(100)]
+    assert [a.domain_trial(n) for n in names] == [b.domain_trial(n) for n in names]

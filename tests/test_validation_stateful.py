@@ -1,0 +1,86 @@
+"""Stateful property testing of the ECN validation machine.
+
+Hypothesis drives arbitrary interleavings of sends, timeouts and ACKs
+(with arbitrary counter contents) and checks the machine's global
+invariants after every step — the strongest guarantee we can give that
+Figure 1 has no hidden escape path.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.counters import EcnCounts
+from repro.core.validation import (
+    AckEcnSample,
+    EcnValidator,
+    ValidationConfig,
+    ValidationOutcome,
+    ValidationState,
+)
+
+
+class ValidatorMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.validator = EcnValidator(
+            config=ValidationConfig(testing_packets=5, max_timeouts=2)
+        )
+        self.was_failed = False
+        self.was_capable = False
+
+    @rule()
+    def send_packet(self):
+        self.validator.on_packet_sent(self.validator.marking_for_next_packet())
+
+    @rule()
+    def timeout(self):
+        self.validator.on_timeout()
+
+    @rule(
+        newly_acked=st.integers(min_value=0, max_value=3),
+        ect0=st.integers(min_value=0, max_value=30),
+        ect1=st.integers(min_value=0, max_value=5),
+        ce=st.integers(min_value=0, max_value=10),
+        with_counts=st.booleans(),
+    )
+    def ack(self, newly_acked, ect0, ect1, ce, with_counts):
+        counts = EcnCounts(ect0, ect1, ce) if with_counts else None
+        self.validator.on_ack(
+            AckEcnSample(newly_acked_marked=newly_acked, counts=counts)
+        )
+
+    @invariant()
+    def failed_is_absorbing(self):
+        if self.validator.state is ValidationState.FAILED:
+            self.was_failed = True
+        if self.was_failed:
+            assert self.validator.state is ValidationState.FAILED
+            assert self.validator.outcome is not ValidationOutcome.CAPABLE
+
+    @invariant()
+    def outcome_matches_state(self):
+        state = self.validator.state
+        outcome = self.validator.outcome
+        if state is ValidationState.CAPABLE:
+            assert outcome is ValidationOutcome.CAPABLE
+        if state in (ValidationState.TESTING, ValidationState.UNKNOWN):
+            assert outcome is ValidationOutcome.PENDING
+
+    @invariant()
+    def counters_never_negative(self):
+        assert self.validator.marked_sent >= 0
+        assert self.validator.marked_acked >= 0
+        assert self.validator.timeouts >= 0
+
+    @invariant()
+    def capable_requires_counts(self):
+        if self.validator.state is ValidationState.CAPABLE:
+            assert self.validator.saw_any_counts
+            assert self.validator.marked_acked >= 1
+
+
+ValidatorMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestValidatorMachine = ValidatorMachine.TestCase

@@ -1,0 +1,122 @@
+"""Route construction: transit profiles, attribution geometry, retention."""
+
+import pytest
+
+from repro.core.codepoints import ECN
+from repro.netsim.clock import Clock
+from repro.netsim.packet import make_udp_packet
+from repro.util.rng import RngStream
+from repro.web.paths import (
+    AS_ARELION,
+    AS_COGENT,
+    PATH_PROFILES,
+    RouteBuilder,
+    effective_path_profile,
+)
+from repro.web.providers import default_providers, default_vantages
+
+
+@pytest.fixture(scope="module")
+def builder_env():
+    vantages = {v.vantage_id: v for v in default_vantages()}
+    provider = default_providers()[0]
+    return RouteBuilder(), vantages, provider
+
+
+def _deliver(path, ecn=ECN.ECT0):
+    packet = make_udp_packet("192.0.2.1", "100.64.0.1", 50_000, 443, None, ecn=ecn)
+    result = path.traverse(packet, Clock(), RngStream(3, "t"))
+    assert result.delivered is not None
+    return result.delivered.ecn
+
+
+@pytest.mark.parametrize("profile", [p for p in PATH_PROFILES if p != "level3-then-arelion"])
+def test_all_profiles_buildable(builder_env, profile):
+    builder, vantages, provider = builder_env
+    built = builder.build(vantages["main-aachen"], profile, provider)
+    assert "" in built
+
+
+def test_clean_path_preserves_ect(builder_env):
+    builder, vantages, provider = builder_env
+    built = builder.build(vantages["main-aachen"], "clean-transit", provider)[""]
+    assert _deliver(built.transport.variants[0]) is ECN.ECT0
+
+
+def test_clear_path_strips_ect(builder_env):
+    builder, vantages, provider = builder_env
+    built = builder.build(vantages["main-aachen"], "arelion-clear", provider)[""]
+    assert _deliver(built.transport.variants[0]) is ECN.NOT_ECT
+
+
+def test_remark_path_rewrites_to_ect1(builder_env):
+    builder, vantages, provider = builder_env
+    built = builder.build(vantages["main-aachen"], "arelion-remark", provider)[""]
+    assert _deliver(built.transport.variants[0]) is ECN.ECT1
+
+
+def test_remark_path_leaves_ce_alone(builder_env):
+    builder, vantages, provider = builder_env
+    built = builder.build(vantages["main-aachen"], "arelion-remark", provider)[""]
+    assert _deliver(built.transport.variants[0], ecn=ECN.CE) is ECN.CE
+
+
+def test_arelion_rewrite_is_definitely_attributable(builder_env):
+    """The rewriting hop sits between two Arelion hops: quotes on both
+    sides of the change share AS 1299."""
+    builder, vantages, provider = builder_env
+    built = builder.build(vantages["main-aachen"], "arelion-clear", provider)[""]
+    path = built.transport.variants[0]
+    asns = path.asn_sequence()
+    rewrite_index = next(
+        i for i, hop in enumerate(path.hops) if hop.ecn_action.name != "PASS"
+    )
+    assert asns[rewrite_index] == AS_ARELION
+    assert asns[rewrite_index + 1] == AS_ARELION
+
+
+def test_cogent_boundary_is_ambiguous(builder_env):
+    builder, vantages, provider = builder_env
+    built = builder.build(vantages["main-aachen"], "arelion-cogent-remark", provider)[""]
+    path = built.transport.variants[0]
+    asns = path.asn_sequence()
+    rewrite_index = next(
+        i for i, hop in enumerate(path.hops) if hop.ecn_action.name != "PASS"
+    )
+    assert asns[rewrite_index] == AS_ARELION
+    assert asns[rewrite_index + 1] == AS_COGENT
+
+
+def test_lb_zero_profile_has_divergent_trace(builder_env):
+    builder, vantages, provider = builder_env
+    built = builder.build(vantages["main-aachen"], "arelion-remark-lb-zero", provider)[""]
+    assert built.trace is not None
+    assert len(built.trace.variants) == 2
+
+
+def test_level3_epoch_produces_two_routes(builder_env):
+    builder, vantages, provider = builder_env
+    built = builder.build(vantages["main-aachen"], "level3-then-arelion", provider)
+    assert set(built) == {"", "2022-W48"}
+    assert _deliver(built[""].transport.variants[0]) is ECN.ECT0
+    assert _deliver(built["2022-W48"].transport.variants[0]) is ECN.NOT_ECT
+
+
+def test_remark_retention_keeps_main_vantage_intact(builder_env):
+    _builder, vantages, _provider = builder_env
+    main = vantages["main-aachen"]
+    assert effective_path_profile(main, "arelion-remark", 0.99) == "arelion-remark"
+
+
+def test_remark_retention_clears_elsewhere(builder_env):
+    _builder, vantages, _provider = builder_env
+    vultr_fra = vantages["vultr-frankfurt"]  # retention 0.0
+    assert effective_path_profile(vultr_fra, "arelion-remark", 0.0) == "arelion-clear"
+    assert effective_path_profile(vultr_fra, "clean-transit", 0.0) == "clean-transit"
+
+
+def test_retention_is_rank_dependent(builder_env):
+    _builder, vantages, _provider = builder_env
+    santiago = vantages["vultr-santiago"]  # retention 0.33
+    assert effective_path_profile(santiago, "arelion-remark", 0.1) == "arelion-remark"
+    assert effective_path_profile(santiago, "arelion-remark", 0.9) == "arelion-clear"

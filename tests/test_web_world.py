@@ -1,0 +1,148 @@
+"""World builder invariants."""
+
+import pytest
+
+import repro
+from repro.tcp.profiles import TcpProfile
+from repro.util.weeks import Week
+from repro.web.providers import default_providers, default_vantages
+from repro.web.spec import WorldConfig
+from repro.web.world import ADOPTION_FULL_WEEK, ADOPTION_START_SHARE
+
+
+def test_every_domain_with_site_is_resolvable(small_world):
+    for domain in small_world.domains[:2000]:
+        record = small_world.resolver.resolve(domain.name)
+        if domain.site_index >= 0:
+            assert record is not None and record.a is not None
+        else:
+            assert record is None
+
+
+def test_sites_by_ip_lookup(small_world):
+    for site in small_world.sites[:200]:
+        assert small_world.site_by_ip(site.ip) is site
+
+
+def test_ip_to_asn_to_org_chain(small_world):
+    for site in small_world.sites[:200]:
+        asn = small_world.prefixes.lookup(site.ip)
+        assert asn == site.provider.asn
+        assert small_world.asorg.org_for(asn) == site.provider.name
+
+
+def test_sibling_orgs_merge(small_world):
+    assert small_world.asorg.org_for(209242) == "Cloudflare"
+    assert small_world.asorg.org_for(396982) == "Google"
+
+
+def test_domains_never_exceed_sites_quota(small_world):
+    for site in small_world.sites:
+        assert site.domain_count >= 0
+        assert site.group_site_count >= 1
+
+
+def test_adoption_ramp_monotonic(small_world):
+    config = small_world.config
+    previous = 0.0
+    week = config.start_week
+    while week <= ADOPTION_FULL_WEEK:
+        share = small_world.adoption_share(week)
+        assert share >= previous
+        assert ADOPTION_START_SHARE <= share <= 1.0
+        previous = share
+        week = week + 4
+    assert small_world.adoption_share(ADOPTION_FULL_WEEK) == 1.0
+
+
+def test_site_policy_default_matches_group(small_world):
+    site = small_world.sites[0]
+    policy = small_world.site_policy(site, "main-aachen")
+    assert policy.quic_profile == site.group.quic_profile
+    assert policy.tcp_profile is site.group.tcp_profile
+
+
+def test_wix_override_unreachable_from_us_west(small_world):
+    wix_sites = [
+        s for s in small_world.sites
+        if s.provider.name == "Google" and s.group.key == "wix-nomirror"
+    ]
+    assert wix_sites
+    site = wix_sites[0]
+    assert small_world.site_policy(site, "main-aachen").reachable
+    assert not small_world.site_policy(site, "vultr-honolulu").reachable
+    assert not small_world.site_policy(site, "vultr-sanfrancisco").reachable
+
+
+def test_india_override_changes_stack(small_world):
+    sites = [
+        s for s in small_world.sites
+        if s.provider.name == "Google" and s.group.key == "own"
+    ]
+    profiles = {small_world.site_policy(s, "aws-mumbai").quic_profile for s in sites}
+    assert "google-india-undercount" in profiles
+
+
+def test_quic_server_construction(small_world):
+    week = small_world.config.reference_week
+    cloudflare = next(
+        s for s in small_world.sites
+        if s.provider.name == "Cloudflare" and s.group.key == "cdn"
+    )
+    server = small_world.quic_server(cloudflare, week, "main-aachen")
+    assert server is not None
+    assert server.behavior.server_header == "cloudflare"
+
+
+def test_tcp_server_for_dark_site_is_none(small_world):
+    week = small_world.config.reference_week
+    dark = next(s for s in small_world.sites if s.provider.name == "DarkWeb")
+    assert small_world.tcp_server(dark, week, "main-aachen") is None
+    assert small_world.quic_server(dark, week, "main-aachen") is None
+
+
+def test_routes_registered_for_all_sites_and_vantages(small_world):
+    week = small_world.config.reference_week
+    for vantage_id in list(small_world.vantages)[:3]:
+        for site in small_world.sites[:100]:
+            template = small_world.network.template_for(vantage_id, site.route_key, week)
+            assert template.variants
+
+
+def test_quota_scaling_and_min_one():
+    config = WorldConfig(scale=1000)
+    assert config.quota(17_300_000) == 17_300
+    assert config.quota(4) == 1  # tiny classes survive
+    assert config.quota(4, min_one=False) == 0
+    assert config.quota(0) == 0
+
+
+def test_world_scales_inversely():
+    coarse = repro.build_world(WorldConfig(scale=40_000))
+    fine = repro.build_world(WorldConfig(scale=10_000))
+    assert len(fine.domains) > 2 * len(coarse.domains)
+
+
+def test_parked_domains_have_parking_ns(small_world):
+    parked = [d for d in small_world.domains if d.parked]
+    assert parked
+    record = small_world.resolver.resolve(parked[0].name)
+    assert record.ns
+
+
+def test_toplist_domains_have_membership(small_world):
+    toplist = [d for d in small_world.domains if d.population == "toplist"]
+    assert toplist
+    assert all(d.lists for d in toplist)
+
+
+def test_provider_spec_group_lookup():
+    provider = default_providers()[0]
+    assert provider.group(provider.groups[0].key) is provider.groups[0]
+    with pytest.raises(KeyError):
+        provider.group("missing")
+
+
+def test_vantage_markers():
+    markers = {v.marker for v in default_vantages()}
+    assert markers == {"M", "A", "V"}

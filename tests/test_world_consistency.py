@@ -1,0 +1,90 @@
+"""Whole-world consistency: quotas realized, routes complete, DNS sane."""
+
+import pytest
+
+from repro.tcp.profiles import TcpProfile
+from repro.web.providers import default_providers
+
+
+def test_quotas_realized_per_group(small_world):
+    """Every group's simulated domain count equals its scaled quota."""
+    from collections import Counter
+
+    counts = Counter()
+    for domain in small_world.domains:
+        if domain.population != "cno" or domain.site_index < 0:
+            continue
+        site = small_world.sites[domain.site_index]
+        counts[(site.provider.name, site.group.key)] += 1
+    for provider in default_providers():
+        for group in provider.groups:
+            expected = small_world.config.quota(group.cno_domains)
+            assert counts[(provider.name, group.key)] == expected
+
+
+def test_all_site_ips_covered_by_prefix_tree(small_world):
+    for site in small_world.sites:
+        assert small_world.prefixes.lookup(site.ip) == site.provider.asn
+        if site.ipv6:
+            assert small_world.prefixes.lookup(site.ipv6) == site.provider.asn
+
+
+def test_site_ips_unique(small_world):
+    ips = [s.ip for s in small_world.sites]
+    assert len(ips) == len(set(ips))
+
+
+def test_domain_names_unique(small_world):
+    names = [d.name for d in small_world.domains]
+    assert len(names) == len(set(names))
+
+
+def test_routes_exist_for_every_site_from_every_vantage(small_world):
+    week = small_world.config.reference_week
+    route_keys = {s.route_key for s in small_world.sites}
+    for vantage_id in small_world.vantages:
+        for route_key in route_keys:
+            template = small_world.network.template_for(vantage_id, route_key, week)
+            assert template.variants
+
+
+def test_v6_routes_exist_where_sites_have_v6(small_world):
+    week = small_world.config.reference_week
+    v6_keys = {s.route_key for s in small_world.sites if s.ipv6}
+    for route_key in v6_keys:
+        template = small_world.network.template_for(
+            "main-aachen", route_key + "/v6", week
+        )
+        assert template.variants
+
+
+def test_cno_domains_use_cno_tlds(small_world):
+    for domain in small_world.domains:
+        if domain.population == "cno":
+            assert domain.name.rsplit(".", 1)[-1] in ("com", "net", "org")
+
+
+def test_tcp_profile_totals_cover_figure6_groups(small_world):
+    """All five Figure-6 TCP behaviours exist among reachable sites."""
+    profiles = {
+        s.group.tcp_profile
+        for s in small_world.sites
+        if s.group.reachable
+    }
+    assert profiles >= set(TcpProfile)
+
+
+def test_provider_asns_unique():
+    providers = default_providers()
+    asns = [p.asn for p in providers]
+    assert len(asns) == len(set(asns))
+
+
+def test_adoption_rank_is_uniformish(small_world):
+    ranks = [d.adoption_rank for d in small_world.domains[:5_000]]
+    assert 0.75 < sum(1 for r in ranks if r < 0.81) / len(ranks) < 0.87
+
+
+def test_group_fraction_in_unit_interval(small_world):
+    for site in small_world.sites:
+        assert 0.0 <= site.group_fraction < 1.0
