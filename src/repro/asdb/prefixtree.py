@@ -4,7 +4,21 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator
+
+
+@lru_cache(maxsize=8192)
+def parse_address(address: str) -> tuple[int, int]:
+    """Parse an IP string into ``(integer value, family)``.
+
+    Parsing is the expensive half of a trie lookup (it dominated weekly
+    scans before per-site attribution was precomputed), and it is a pure
+    function of the string — so it is safe to cache even though the trie
+    itself is mutable.
+    """
+    ip = ipaddress.ip_address(address)
+    return int(ip), ip.version
 
 
 @dataclass
@@ -42,12 +56,24 @@ class PrefixTree:
             self._size += 1
         node.value = asn
 
-    def lookup(self, address: str) -> int | None:
-        """Longest-prefix-match; None when no covering prefix exists."""
-        ip = ipaddress.ip_address(address)
-        node = self._roots[ip.version]
-        bits = int(ip)
-        width = ip.max_prefixlen
+    def lookup(self, address: str | int, *, version: int | None = None) -> int | None:
+        """Longest-prefix-match; None when no covering prefix exists.
+
+        ``address`` may be a dotted/colon string, or a pre-parsed integer
+        together with an explicit ``version`` (the integer alone cannot
+        distinguish a low IPv6 address from an IPv4 one).
+        """
+        if isinstance(address, int):
+            if version is None:
+                raise ValueError("integer addresses require an explicit version")
+            return self.lookup_int(address, version)
+        bits, parsed_version = parse_address(address)
+        return self.lookup_int(bits, parsed_version)
+
+    def lookup_int(self, bits: int, version: int) -> int | None:
+        """Longest-prefix-match on a pre-parsed integer address."""
+        node = self._roots[version]
+        width = 32 if version == 4 else 128
         best = node.value
         for depth in range(width):
             bit = (bits >> (width - 1 - depth)) & 1

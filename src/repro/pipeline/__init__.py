@@ -1,15 +1,19 @@
 """Measurement pipeline: weekly scans, campaigns, distributed vantages."""
 
 from repro.pipeline.campaign import Campaign, run_campaign
-from repro.pipeline.runs import WeeklyRun, run_weekly_scan
+from repro.pipeline.engine import ScanEngine, SiteResultCache
+from repro.pipeline.runs import WeeklyRun, run_weekly_scan, run_weekly_scan_reference
 from repro.pipeline.toplists import merged_toplist_domains
 from repro.pipeline.vantage import VantageRun, run_distributed
 
 __all__ = [
     "Campaign",
     "run_campaign",
+    "ScanEngine",
+    "SiteResultCache",
     "WeeklyRun",
     "run_weekly_scan",
+    "run_weekly_scan_reference",
     "merged_toplist_domains",
     "VantageRun",
     "run_distributed",

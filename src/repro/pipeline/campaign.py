@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.pipeline.runs import WeeklyRun, run_weekly_scan
+from repro.pipeline.runs import WeeklyRun
 from repro.util.weeks import Week
 from repro.web.world import World
 
@@ -14,19 +14,50 @@ class Campaign:
     """An ordered series of runs from one vantage point."""
 
     runs: list[WeeklyRun] = field(default_factory=list)
+    #: Week index for exact-hit run_at / closest_run.  ``runs`` may be
+    #: mutated directly (analysis code appends), so lookups validate the
+    #: index against an identity snapshot — an O(n) pointer comparison,
+    #: but ~50x cheaper than the Week-ordinal arithmetic of the linear
+    #: scan it replaced, and always correct under replace/remove too.
+    #: First run wins on duplicate weeks, matching the old linear scan.
+    _by_week: dict[Week, WeeklyRun] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _indexed_ids: list[int] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+
+    def add_run(self, run: WeeklyRun) -> None:
+        self._index()  # settle the snapshot before extending it
+        self.runs.append(run)
+        self._by_week.setdefault(run.week, run)
+        self._indexed_ids.append(id(run))
+
+    def _index(self) -> dict[Week, WeeklyRun]:
+        current_ids = list(map(id, self.runs))
+        if current_ids != self._indexed_ids:
+            index: dict[Week, WeeklyRun] = {}
+            for run in self.runs:
+                index.setdefault(run.week, run)
+            self._by_week = index
+            self._indexed_ids = current_ids
+        return self._by_week
 
     def weeks(self) -> list[Week]:
         return [run.week for run in self.runs]
 
     def run_at(self, week: Week) -> WeeklyRun:
-        for run in self.runs:
-            if run.week == week:
-                return run
-        raise KeyError(f"no run for {week}")
+        run = self._index().get(week)
+        if run is None:
+            raise KeyError(f"no run for {week}")
+        return run
 
     def closest_run(self, week: Week) -> WeeklyRun:
         if not self.runs:
             raise ValueError("empty campaign")
+        exact = self._index().get(week)
+        if exact is not None:
+            return exact
         return min(self.runs, key=lambda run: abs(run.week - week))
 
 
@@ -38,11 +69,17 @@ def run_campaign(
     vantage_id: str = "main-aachen",
     populations: tuple[str, ...] = ("cno",),
     run_tracebox: bool = False,
+    reuse_site_results: bool = False,
 ) -> Campaign:
     """Scan the world repeatedly over the measurement period.
 
     By default samples every ``cadence_weeks`` from the campaign start
-    to the reference week — the resolution Figures 3/4/8 need.
+    to the reference week — the resolution Figures 3/4/8 need.  All runs
+    share one :class:`~repro.pipeline.engine.ScanEngine` plan, so the
+    per-domain attribution tables are built once for the whole series;
+    ``reuse_site_results`` additionally skips re-scanning sites whose
+    behaviour epoch has not changed (epoch-accurate, not draw-accurate —
+    see :meth:`ScanEngine.run_weeks`).
     """
     if weeks is None:
         weeks = []
@@ -53,14 +90,12 @@ def run_campaign(
         if weeks[-1] != world.config.reference_week:
             weeks.append(world.config.reference_week)
     campaign = Campaign()
-    for week in weeks:
-        campaign.runs.append(
-            run_weekly_scan(
-                world,
-                week,
-                vantage_id,
-                populations=populations,
-                run_tracebox=run_tracebox,
-            )
-        )
+    for run in world.scan_engine().run_weeks(
+        weeks,
+        vantage_id,
+        populations=populations,
+        run_tracebox=run_tracebox,
+        reuse_site_results=reuse_site_results,
+    ):
+        campaign.add_run(run)
     return campaign

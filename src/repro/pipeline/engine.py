@@ -1,0 +1,451 @@
+"""Site-first scan engine: weekly scans in O(sites), not O(domains).
+
+The paper's methodology (§4.4) rests on the observation that hosts
+sharing one IP behave identically: it scans per IP and attributes the
+outcome to every domain the IP serves.  The original per-domain loop
+exploited this only for the QUIC exchange itself — ASN lookup, org
+mapping, policy resolution and DNS re-resolution still ran once per
+domain per week, dominating wall time at scale.
+
+The engine splits a weekly run into two phases (docs/architecture.md):
+
+1. **Site phase** — everything expensive happens once per
+   (site, week, vantage, family): policy resolution (memoized on the
+   world), the QUIC/TCP exchanges, and — at world build time — ASN/org
+   attribution.  Scans are issued in exactly the order the per-domain
+   reference loop would have triggered them, so the shared network
+   RNG stream and virtual clock advance identically and results are
+   byte-for-byte equal to the reference semantics
+   (:func:`repro.pipeline.runs.run_weekly_scan_reference`).
+2. **Attribution phase** — per-site results fan out to domains through
+   bindings precomputed in a :class:`ScanPlan` (resolution, org,
+   site attachment are week-invariant for a given IP family).  The
+   per-domain work is a tuple-splat construction plus a few attribute
+   stores; no string parsing, no trie walks, no policy evaluation.
+
+:meth:`ScanEngine.site_events` exposes the ordered site phase as data —
+the hook future week-sharded / multiprocessing executors partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import starmap
+from typing import TYPE_CHECKING, Sequence
+
+from repro.pipeline.runs import WeeklyRun, _run_traces, ensure_site_record
+from repro.quic.connection import QuicConnectionResult
+from repro.scanner.quic_scan import QuicScanConfig, scan_site_quic
+from repro.scanner.results import DomainObservation
+from repro.scanner.tcp_scan import TcpScanConfig, scan_site_tcp
+from repro.util.weeks import Week
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (world -> engine)
+    from repro.web.world import Site, World
+
+#: Event kinds of the site phase, ordered as the reference loop fires
+#: them at one domain position (QUIC before TCP).
+QUIC_EVENT = 0
+TCP_EVENT = 1
+
+
+@dataclass(slots=True)
+class SitePlan:
+    """Week-invariant bindings of one site for one (family, populations).
+
+    ``positions`` index into the run's observation list (world order);
+    ``ranks`` are the domains' QUIC adoption thresholds; ``names`` feed
+    the scan authority (the reference loop used the triggering domain).
+    """
+
+    site_index: int
+    address: str
+    positions: list[int] = field(default_factory=list)
+    ranks: list[float] = field(default_factory=list)
+    names: list[str] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class SiteEvent:
+    """One scheduled per-site exchange of the site phase."""
+
+    position: int  # observation position of the triggering domain
+    kind: int  # QUIC_EVENT | TCP_EVENT
+    site_index: int
+    address: str  # family address the triggering domain resolved to
+    authority_domain: str
+
+
+@dataclass
+class ScanPlan:
+    """Precomputed attribution for one (ip family, populations) pair."""
+
+    ip_version: int
+    populations: tuple[str, ...]
+    #: Positional constructor args for every :class:`DomainObservation`.
+    protos: list[tuple]
+    #: Site plans ordered by first attributed observation position.
+    sites: list[SitePlan]
+
+
+@dataclass
+class SiteResultCache:
+    """Cross-week QUIC result reuse (opt-in, see :meth:`ScanEngine.run_weeks`).
+
+    Maps site index to (behaviour epoch key, result).  Reusing a result
+    skips the exchange — and therefore the RNG draws it would have made —
+    so reuse trades bit-identical loss realisations for speed; only the
+    epoch-stable behaviour is guaranteed to match.
+    """
+
+    quic: dict[int, tuple[object, QuicConnectionResult]] = field(default_factory=dict)
+
+
+class ScanEngine:
+    """Runs weekly scans site-first against one :class:`World`.
+
+    Plans cache DNS bindings, org attribution and per-site domain lists
+    per (family, populations); create the engine via
+    :meth:`World.scan_engine` so campaigns share one instance.  Call
+    :meth:`invalidate` after mutating the world's resolver, prefix table
+    or domain set post-build.
+    """
+
+    def __init__(self, world: "World"):
+        self.world = world
+        self._plans: dict[tuple[int, tuple[str, ...]], ScanPlan] = {}
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        self._plans.clear()
+
+    def plan_for(self, ip_version: int, populations: Sequence[str]) -> ScanPlan:
+        key = (ip_version, tuple(populations))
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = self._build_plan(*key)
+            self._plans[key] = plan
+        return plan
+
+    def _build_plan(self, ip_version: int, populations: tuple[str, ...]) -> ScanPlan:
+        world = self.world
+        resolve = world.resolver.resolve_address
+        site_by_ip = world.site_by_ip
+        protos: list[tuple] = []
+        #: domain index -> (observation position, site index, address)
+        attributed: dict[int, tuple[int, int, str]] = {}
+        position = 0
+        for domain_index, domain in enumerate(world.domains):
+            if domain.population not in populations:
+                continue
+            name = domain.name
+            address = resolve(name, family=ip_version)
+            if address is None:
+                protos.append((name, domain.population, domain.lists, domain.parked, False))
+                position += 1
+                continue
+            site = site_by_ip(address)
+            if site is None:  # defensive: IP without a registered host
+                protos.append(
+                    (name, domain.population, domain.lists, domain.parked, True, address)
+                )
+                position += 1
+                continue
+            org = (
+                site.org
+                if site.asn is not None
+                else world.asorg.org_for(world.prefixes.lookup(site.ip))
+            )
+            protos.append(
+                (
+                    name,
+                    domain.population,
+                    domain.lists,
+                    domain.parked,
+                    True,
+                    address,
+                    org,
+                    site.index,
+                )
+            )
+            attributed[domain_index] = (position, site.index, address)
+            position += 1
+        return ScanPlan(
+            ip_version=ip_version,
+            populations=populations,
+            protos=protos,
+            sites=self._group_by_site(attributed),
+        )
+
+    def _group_by_site(
+        self, attributed: dict[int, tuple[int, int, str]]
+    ) -> list[SitePlan]:
+        """Fan attributed domains out to per-site plans.
+
+        Walks the world's precomputed ``site_domains`` bindings (the
+        normal case: DNS points every attached domain at its own site);
+        attributions the bindings do not cover — a resolver mutated
+        post-build to point a domain elsewhere — fall back to direct
+        grouping so reference semantics hold for them too.
+        """
+        world = self.world
+        domains = world.domains
+        by_site: dict[int, SitePlan] = {}
+        ordered: list[SitePlan] = []
+        for site_index, domain_indices in enumerate(world.site_domains):
+            plan_site = None
+            for domain_index in domain_indices:
+                entry = attributed.get(domain_index)
+                if entry is None or entry[1] != site_index:
+                    continue
+                del attributed[domain_index]
+                if plan_site is None:
+                    plan_site = SitePlan(site_index=site_index, address=entry[2])
+                    by_site[site_index] = plan_site
+                    ordered.append(plan_site)
+                domain = domains[domain_index]
+                plan_site.positions.append(entry[0])
+                plan_site.ranks.append(domain.adoption_rank)
+                plan_site.names.append(domain.name)
+        if attributed:  # leftovers outside the build-time bindings
+            touched: set[int] = set()
+            for domain_index in sorted(attributed):
+                pos, site_index, address = attributed[domain_index]
+                plan_site = by_site.get(site_index)
+                if plan_site is None:
+                    plan_site = SitePlan(site_index=site_index, address=address)
+                    by_site[site_index] = plan_site
+                    ordered.append(plan_site)
+                domain = domains[domain_index]
+                plan_site.positions.append(pos)
+                plan_site.ranks.append(domain.adoption_rank)
+                plan_site.names.append(domain.name)
+                touched.add(site_index)
+            for site_index in touched:  # restore scan-order within the site
+                plan_site = by_site[site_index]
+                triples = sorted(
+                    zip(plan_site.positions, plan_site.ranks, plan_site.names)
+                )
+                plan_site.positions = [t[0] for t in triples]
+                plan_site.ranks = [t[1] for t in triples]
+                plan_site.names = [t[2] for t in triples]
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Site phase scheduling
+    # ------------------------------------------------------------------
+    def _schedule(
+        self,
+        plan: ScanPlan,
+        week: Week,
+        vantage_id: str,
+        include_tcp: bool,
+    ) -> tuple[list[SiteEvent], dict[int, bool]]:
+        """The site phase as ordered events + per-site QUIC capability.
+
+        Event order reproduces the reference loop: each site's QUIC
+        exchange fires at its first domain that wants QUIC this week,
+        its TCP exchange at its first attributed domain, globally sorted
+        by domain position (QUIC before TCP at the same position).
+        """
+        world = self.world
+        sites = world.sites
+        site_policy = world.site_policy
+        share = world.adoption_share(week)
+        events: list[SiteEvent] = []
+        quic_capable: dict[int, bool] = {}
+        for plan_site in plan.sites:
+            index = plan_site.site_index
+            policy = site_policy(sites[index], vantage_id)
+            capable = policy.reachable and policy.quic_profile is not None
+            quic_capable[index] = capable
+            if capable:
+                for pos, rank, name in zip(
+                    plan_site.positions, plan_site.ranks, plan_site.names
+                ):
+                    if rank < share:
+                        events.append(
+                            SiteEvent(pos, QUIC_EVENT, index, plan_site.address, name)
+                        )
+                        break
+            if include_tcp:
+                events.append(
+                    SiteEvent(
+                        plan_site.positions[0],
+                        TCP_EVENT,
+                        index,
+                        plan_site.address,
+                        plan_site.names[0],
+                    )
+                )
+        events.sort(key=lambda event: (event.position, event.kind))
+        return events, quic_capable
+
+    def site_events(
+        self,
+        week: Week,
+        vantage_id: str = "main-aachen",
+        *,
+        ip_version: int = 4,
+        populations: Sequence[str] = ("cno", "toplist"),
+        include_tcp: bool = False,
+    ) -> list[SiteEvent]:
+        """Public view of the site phase (the week-sharding hook)."""
+        plan = self.plan_for(ip_version, populations)
+        events, _ = self._schedule(plan, week, vantage_id, include_tcp)
+        return events
+
+    # ------------------------------------------------------------------
+    # Cross-week reuse
+    # ------------------------------------------------------------------
+    def behaviour_epoch(
+        self, site: "Site", week: Week, vantage_id: str, ip_version: int = 4
+    ) -> tuple:
+        """Key identifying everything that shapes a site's scan outcome.
+
+        Two weeks with equal epochs present the same stack behaviour over
+        the same route under the same policy; only stochastic path
+        effects (loss draws) can differ between their exchanges.
+        """
+        world = self.world
+        policy = world.site_policy(site, vantage_id)
+        behavior = None
+        if policy.reachable and policy.quic_profile is not None:
+            behavior = world.stack_registry.behavior(policy.quic_profile, week)
+        route_key = site.route_key + ("/v6" if ip_version == 6 else "")
+        try:
+            template = world.network.template_for(vantage_id, route_key, week)
+        except KeyError:
+            template = None
+        return (policy, behavior, id(template))
+
+    def _site_quic(
+        self,
+        site: "Site",
+        week: Week,
+        vantage_id: str,
+        config: QuicScanConfig,
+        authority_domain: str,
+        reuse: SiteResultCache | None,
+    ) -> QuicConnectionResult:
+        if reuse is not None:
+            epoch = self.behaviour_epoch(site, week, vantage_id, config.ip_version)
+            cached = reuse.quic.get(site.index)
+            if cached is not None and cached[0] == epoch:
+                return cached[1]
+        result = scan_site_quic(
+            self.world,
+            site,
+            week,
+            vantage_id,
+            config,
+            authority=f"www.{authority_domain}",
+        )
+        if reuse is not None:
+            reuse.quic[site.index] = (epoch, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_week(
+        self,
+        week: Week,
+        vantage_id: str = "main-aachen",
+        *,
+        ip_version: int = 4,
+        populations: Sequence[str] = ("cno", "toplist"),
+        include_tcp: bool = False,
+        quic_config: QuicScanConfig | None = None,
+        tcp_config: TcpScanConfig | None = None,
+        run_tracebox: bool = False,
+        reuse: SiteResultCache | None = None,
+    ) -> WeeklyRun:
+        """One weekly run, equal field-for-field to the reference loop."""
+        world = self.world
+        plan = self.plan_for(ip_version, populations)
+        quic_config = quic_config or QuicScanConfig(ip_version=ip_version)
+        tcp_config = tcp_config or TcpScanConfig(ip_version=ip_version)
+        run = WeeklyRun(week=week, vantage_id=vantage_id, ip_version=ip_version)
+        run.observations = list(starmap(DomainObservation, plan.protos))
+
+        # Phase 1: per-site exchanges, in reference trigger order.
+        events, quic_capable = self._schedule(plan, week, vantage_id, include_tcp)
+        records = run.site_records
+        sites = world.sites
+        for event in events:
+            record = ensure_site_record(records, event.site_index, event.address)
+            site = sites[event.site_index]
+            if event.kind == QUIC_EVENT:
+                record.quic = self._site_quic(
+                    site, week, vantage_id, quic_config, event.authority_domain, reuse
+                )
+            else:
+                record.tcp = scan_site_tcp(
+                    world,
+                    site,
+                    week,
+                    vantage_id,
+                    tcp_config,
+                    authority=f"www.{event.authority_domain}",
+                )
+
+        # Phase 2: fan per-site results out to domains.
+        share = world.adoption_share(week)
+        observations = run.observations
+        for plan_site in plan.sites:
+            record = records.get(plan_site.site_index)
+            if quic_capable[plan_site.site_index]:
+                result = record.quic if record is not None else None
+                for pos, rank in zip(plan_site.positions, plan_site.ranks):
+                    if rank < share:
+                        obs = observations[pos]
+                        obs.quic_attempted = True
+                        obs.quic = result
+            if include_tcp and record is not None:
+                tcp_result = record.tcp
+                for pos in plan_site.positions:
+                    observations[pos].tcp = tcp_result
+
+        if run_tracebox:
+            _run_traces(world, week, vantage_id, ip_version, run)
+        return run
+
+    def run_weeks(
+        self,
+        weeks: Sequence[Week],
+        vantage_id: str = "main-aachen",
+        *,
+        ip_version: int = 4,
+        populations: Sequence[str] = ("cno", "toplist"),
+        include_tcp: bool = False,
+        quic_config: QuicScanConfig | None = None,
+        tcp_config: TcpScanConfig | None = None,
+        run_tracebox: bool = False,
+        reuse_site_results: bool = False,
+    ) -> list[WeeklyRun]:
+        """A run per week, sharing one plan (and optionally site results).
+
+        With ``reuse_site_results`` a site whose behaviour epoch is
+        unchanged since its last exchange keeps that result instead of
+        rescanning — the campaign-scale shortcut §4.4 justifies.  Loss is
+        stochastic, so reused weeks are epoch-accurate, not draw-accurate;
+        leave it off when bit-identical reference semantics matter.
+        """
+        reuse = SiteResultCache() if reuse_site_results else None
+        return [
+            self.run_week(
+                week,
+                vantage_id,
+                ip_version=ip_version,
+                populations=populations,
+                include_tcp=include_tcp,
+                quic_config=quic_config,
+                tcp_config=tcp_config,
+                run_tracebox=run_tracebox,
+                reuse=reuse,
+            )
+            for week in weeks
+        ]

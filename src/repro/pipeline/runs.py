@@ -4,6 +4,11 @@ Per-domain results are derived from per-site scans: hosts on one IP
 behave identically (the assumption the paper validates in §4.4 and
 exploits for its cloud measurements), so the simulator scans each IP
 once per week and attributes the outcome to every domain it serves.
+
+:func:`run_weekly_scan` executes through the site-first
+:class:`~repro.pipeline.engine.ScanEngine`; the original per-domain loop
+is kept as :func:`run_weekly_scan_reference` — it defines the scan
+semantics and anchors the golden equivalence test.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from repro.tracebox.classify import TraceSummary, classify_trace
 from repro.tracebox.probe import trace_site
 from repro.tracebox.sampling import TraceSampler
 from repro.util.weeks import Week
-from repro.web.world import Site, World
+from repro.web.world import World
 
 
 @dataclass
@@ -44,6 +49,17 @@ class WeeklyRun:
         return self.traces.get(site_index)
 
 
+def ensure_site_record(
+    records: dict[int, SiteScanRecord], site_index: int, ip: str
+) -> SiteScanRecord:
+    """Get-or-create the per-site record (shared by QUIC and TCP scans)."""
+    record = records.get(site_index)
+    if record is None:
+        record = SiteScanRecord(site_index=site_index, ip=ip)
+        records[site_index] = record
+    return record
+
+
 def run_weekly_scan(
     world: World,
     week: Week,
@@ -57,11 +73,39 @@ def run_weekly_scan(
     run_tracebox: bool = False,
 ) -> WeeklyRun:
     """Scan every domain of the selected populations for one week."""
+    return world.scan_engine().run_week(
+        week,
+        vantage_id,
+        ip_version=ip_version,
+        populations=populations,
+        include_tcp=include_tcp,
+        quic_config=quic_config,
+        tcp_config=tcp_config,
+        run_tracebox=run_tracebox,
+    )
+
+
+def run_weekly_scan_reference(
+    world: World,
+    week: Week,
+    vantage_id: str = "main-aachen",
+    *,
+    ip_version: int = 4,
+    populations: tuple[str, ...] = ("cno", "toplist"),
+    include_tcp: bool = False,
+    quic_config: QuicScanConfig | None = None,
+    tcp_config: TcpScanConfig | None = None,
+    run_tracebox: bool = False,
+) -> WeeklyRun:
+    """The defining per-domain scan loop (slow; for equivalence testing).
+
+    Kept verbatim in structure so the engine's RNG/clock trajectory can
+    be compared against it; production code calls :func:`run_weekly_scan`.
+    """
     quic_config = quic_config or QuicScanConfig(ip_version=ip_version)
     tcp_config = tcp_config or TcpScanConfig(ip_version=ip_version)
     run = WeeklyRun(week=week, vantage_id=vantage_id, ip_version=ip_version)
-    quic_cache: dict[int, SiteScanRecord] = run.site_records
-    tcp_done: set[int] = set()
+    records = run.site_records
 
     for domain in world.domains:
         if domain.population not in populations:
@@ -94,10 +138,7 @@ def run_weekly_scan(
         )
         if wants_quic:
             obs.quic_attempted = True
-            record = quic_cache.get(site.index)
-            if record is None:
-                record = SiteScanRecord(site_index=site.index, ip=address)
-                quic_cache[site.index] = record
+            record = ensure_site_record(records, site.index, address)
             if record.quic is None:
                 record.quic = scan_site_quic(
                     world,
@@ -109,12 +150,8 @@ def run_weekly_scan(
                 )
             obs.quic = record.quic
         if include_tcp:
-            record = quic_cache.get(site.index)
-            if record is None:
-                record = SiteScanRecord(site_index=site.index, ip=address)
-                quic_cache[site.index] = record
-            if site.index not in tcp_done:
-                tcp_done.add(site.index)
+            record = ensure_site_record(records, site.index, address)
+            if record.tcp is None:
                 record.tcp = scan_site_tcp(
                     world,
                     site,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.pipeline.runs import WeeklyRun, run_weekly_scan
+from repro.pipeline.runs import WeeklyRun
 from repro.quic.connection import QuicConnectionResult
 from repro.scanner.quic_scan import QuicScanConfig, scan_site_quic
 from repro.tracebox.classify import TraceSummary, classify_trace
@@ -123,8 +123,10 @@ def run_distributed(
     if vantage_ids is None:
         vantage_ids = list(world.vantages)
     if main_run is None:
-        main_run = run_weekly_scan(
-            world, week, "main-aachen", ip_version=ip_version, populations=("cno",)
+        # Site-first engine run: the per-IP dedup below then only pays
+        # attribution, not another O(domains) resolution pass.
+        main_run = world.scan_engine().run_week(
+            week, "main-aachen", ip_version=ip_version, populations=("cno",)
         )
     targets = forwarded_targets(main_run)
     runs: dict[str, VantageRun] = {}

@@ -18,6 +18,11 @@ from repro.scanner.wire import ScanWire
 from repro.util.weeks import Week
 from repro.web.world import Site, World
 
+#: Wall-clock a scan client burns against a dead or QUIC-less target
+#: before giving up (shared with the TCP scanner so both advance the
+#: virtual clock identically).
+DEAD_TARGET_TIMEOUT = 10.0
+
 
 @dataclass(frozen=True)
 class QuicScanConfig:
@@ -69,7 +74,7 @@ def scan_site_quic(
     if server is None:
         result = QuicConnectionResult(error="no QUIC listener")
         # The client still burns its timeout budget against dead targets.
-        world.clock.advance(10.0)
+        world.clock.advance(DEAD_TARGET_TIMEOUT)
         return result
     route_key = site.route_key + ("/v6" if config.ip_version == 6 else "")
     wire = ScanWire(world, vantage_id, route_key, server.handle_datagram, week)

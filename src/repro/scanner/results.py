@@ -10,7 +10,7 @@ from repro.quic.connection import QuicConnectionResult
 from repro.tcp.client import TcpScanOutcome
 
 
-@dataclass
+@dataclass(slots=True)
 class SiteScanRecord:
     """Per-server-IP scan outcome (hosts behave per IP, §4.3)."""
 
@@ -21,9 +21,14 @@ class SiteScanRecord:
     traced: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class DomainObservation:
-    """Everything one weekly scan learned about one domain."""
+    """Everything one weekly scan learned about one domain.
+
+    A weekly run materialises one of these per domain, so the class is
+    slotted and the scan engine constructs it positionally from
+    precomputed prototype tuples — keep new fields appended and defaulted.
+    """
 
     domain: str
     population: str  # "cno" | "toplist"

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.core.codepoints import ECN
 from repro.http.messages import HttpRequest
+from repro.scanner.quic_scan import DEAD_TARGET_TIMEOUT
 from repro.scanner.wire import ScanWire
 from repro.tcp.client import TcpClientConfig, TcpScanClient, TcpScanOutcome
 from repro.util.weeks import Week
@@ -37,7 +38,7 @@ def scan_site_tcp(
         return TcpScanOutcome(error="no address for this family")
     server = world.tcp_server(site, week, vantage_id)
     if server is None:
-        world.clock.advance(10.0)
+        world.clock.advance(DEAD_TARGET_TIMEOUT)
         return TcpScanOutcome(error="connection timeout")
     route_key = site.route_key + ("/v6" if config.ip_version == 6 else "")
     wire = ScanWire(world, vantage_id, route_key, server.handle_segment, week)

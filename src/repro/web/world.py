@@ -73,6 +73,10 @@ class Site:
     group_site_count: int
     domain_count: int = 0
     toplist_domain_count: int = 0
+    #: Week-invariant attribution, materialised once at world build so the
+    #: scan hot loop never walks the prefix trie (see docs/architecture.md).
+    asn: int | None = None
+    org: str = AsOrgMap.UNKNOWN
 
     @property
     def group_fraction(self) -> float:
@@ -124,8 +128,12 @@ class World:
         self.prefixes = PrefixTree()
         self.sites: list[Site] = []
         self.domains: list[Domain] = []
+        #: Per-site indices into ``domains`` (the attribution fan-out lists).
+        self.site_domains: list[list[int]] = []
         self._sites_by_ip: dict[str, Site] = {}
         self._overrides: dict[tuple[str, str, str], list[VantageOverrideSpec]] = {}
+        self._policy_cache: dict[tuple[int, str], SitePolicy] = {}
+        self._scan_engine = None
         for override in overrides:
             key = (override.vantage_id, override.provider, override.group_key)
             self._overrides.setdefault(key, []).append(override)
@@ -140,6 +148,22 @@ class World:
         if domain.site_index < 0:
             return None
         return self.sites[domain.site_index]
+
+    def domains_of(self, site: Site) -> list[Domain]:
+        """All domains attached to ``site`` (world order)."""
+        return [self.domains[i] for i in self.site_domains[site.index]]
+
+    def scan_engine(self):
+        """The world's site-first :class:`~repro.pipeline.engine.ScanEngine`.
+
+        Created lazily (the pipeline package imports this module) and
+        shared so scan plans amortise across weekly runs and campaigns.
+        """
+        if self._scan_engine is None:
+            from repro.pipeline.engine import ScanEngine
+
+            self._scan_engine = ScanEngine(self)
+        return self._scan_engine
 
     def weeks(self) -> list[Week]:
         return list(week_range(self.config.start_week, self.config.end_week))
@@ -163,6 +187,24 @@ class World:
     # Per-vantage behaviour resolution
     # ------------------------------------------------------------------
     def site_policy(self, site: Site, vantage_id: str) -> SitePolicy:
+        """Effective (memoized) behaviour of ``site`` from ``vantage_id``.
+
+        Overrides are fixed at construction time, so the resolved policy
+        is cached per (site index, vantage) — a weekly scan evaluates the
+        override windows at most once per site instead of once per domain.
+        """
+        key = (site.index, vantage_id)
+        cached = self._policy_cache.get(key)
+        if cached is not None and self.sites[site.index] is site:
+            return cached
+        policy = self._compute_site_policy(site, vantage_id)
+        # Only world-owned sites are safe to memoize by index (tests may
+        # probe hand-built Site objects that share an index).
+        if 0 <= site.index < len(self.sites) and self.sites[site.index] is site:
+            self._policy_cache[key] = policy
+        return policy
+
+    def _compute_site_policy(self, site: Site, vantage_id: str) -> SitePolicy:
         group = site.group
         quic_profile = group.quic_profile
         reachable = group.reachable
@@ -182,6 +224,26 @@ class World:
             tcp_profile=group.tcp_profile,
             reachable=reachable,
         )
+
+    # ------------------------------------------------------------------
+    # Week-invariant site attribution (filled by build_world)
+    # ------------------------------------------------------------------
+    def refresh_site_attribution(self) -> None:
+        """(Re)compute per-site ASN and organisation.
+
+        Runs once at world build — one prefix-trie walk per *site*
+        instead of one per domain per weekly scan.  Call again after
+        mutating ``prefixes`` or ``asorg`` post-build: the scan engine
+        bakes ``Site.org`` into its cached plans, so those are
+        invalidated here too.
+        """
+        lookup = self.prefixes.lookup
+        org_for = self.asorg.org_for
+        for site in self.sites:
+            site.asn = lookup(site.ip)
+            site.org = org_for(site.asn)
+        if self._scan_engine is not None:
+            self._scan_engine.invalidate()
 
     # ------------------------------------------------------------------
     # Server construction
@@ -234,6 +296,7 @@ def build_world(
     _populate_sites_and_domains(world, providers)
     _populate_unresolved(world)
     _register_routes(world, providers, vantages)
+    world.refresh_site_attribution()
     return world
 
 
@@ -292,6 +355,7 @@ def _populate_sites_and_domains(world: World, providers: list[ProviderSpec]) -> 
                     group_site_count=n_sites,
                 )
                 world.sites.append(site)
+                world.site_domains.append([])
                 world._sites_by_ip[ip] = site
                 if ipv6:
                     world._sites_by_ip[ipv6] = site
@@ -325,9 +389,8 @@ def _add_domains(
             has_aaaa=has_aaaa,
             adoption_rank=stable_hash("adopt", name) % 10_000 / 10_000.0,
         )
-        world.domains.append(domain)
+        _attach_domain(world, domain, site)
         site.domain_count += 1
-        _register_dns(world, domain, site)
     n_top = config.quota(group.toplist_domains, min_one=False)
     for j in range(n_top):
         site = group_sites[j % len(group_sites)]
@@ -344,9 +407,16 @@ def _add_domains(
             lists=membership,
             adoption_rank=stable_hash("adopt", name) % 10_000 / 10_000.0,
         )
-        world.domains.append(domain)
+        _attach_domain(world, domain, site)
         site.toplist_domain_count += 1
-        _register_dns(world, domain, site)
+
+
+def _attach_domain(world: World, domain: Domain, site: Site) -> None:
+    """The one place a domain joins a site: record list, fan-out binding,
+    DNS — so ``site_domains`` can never drift from ``domains``."""
+    world.domains.append(domain)
+    world.site_domains[site.index].append(len(world.domains) - 1)
+    _register_dns(world, domain, site)
 
 
 def _register_dns(world: World, domain: Domain, site: Site) -> None:

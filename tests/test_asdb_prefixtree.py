@@ -1,0 +1,84 @@
+"""PrefixTree: integer fast path, longest-prefix match, family separation."""
+
+from __future__ import annotations
+
+import ipaddress
+
+import pytest
+
+from repro.asdb.prefixtree import PrefixTree, parse_address
+
+
+def test_int_fast_path_matches_string_lookup():
+    tree = PrefixTree()
+    tree.insert("100.64.0.0/16", 64496)
+    tree.insert("100.64.128.0/17", 64497)
+    tree.insert("2001:db8::/32", 64498)
+    for address in ("100.64.1.2", "100.64.200.9", "2001:db8::42", "203.0.113.7"):
+        bits, version = parse_address(address)
+        assert tree.lookup_int(bits, version) == tree.lookup(address)
+        assert tree.lookup(bits, version=version) == tree.lookup(address)
+
+
+def test_integer_address_requires_version():
+    tree = PrefixTree()
+    with pytest.raises(ValueError):
+        tree.lookup(int(ipaddress.ip_address("100.64.0.1")))
+
+
+def test_longest_prefix_wins_regardless_of_insert_order():
+    expected = {
+        "10.1.1.1": 3,  # /24 is the most specific covering prefix
+        "10.1.2.1": 2,  # falls back to the /16
+        "10.2.0.1": 1,  # falls back to the /8
+        "11.0.0.1": None,  # no covering prefix at all
+    }
+    for order in (
+        [("10.0.0.0/8", 1), ("10.1.0.0/16", 2), ("10.1.1.0/24", 3)],
+        [("10.1.1.0/24", 3), ("10.1.0.0/16", 2), ("10.0.0.0/8", 1)],
+        [("10.1.0.0/16", 2), ("10.0.0.0/8", 1), ("10.1.1.0/24", 3)],
+    ):
+        tree = PrefixTree()
+        for prefix, asn in order:
+            tree.insert(prefix, asn)
+        for address, asn in expected.items():
+            assert tree.lookup(address) == asn, (order, address)
+
+
+def test_exact_host_prefix_beats_shorter_cover():
+    tree = PrefixTree()
+    tree.insert("198.51.100.0/24", 10)
+    tree.insert("198.51.100.7/32", 20)
+    assert tree.lookup("198.51.100.7") == 20
+    assert tree.lookup("198.51.100.8") == 10
+
+
+def test_v4_and_v6_tries_are_separate():
+    tree = PrefixTree()
+    tree.insert("0.0.0.0/0", 4444)
+    assert tree.lookup("2001:db8::1") is None
+    tree.insert("::/0", 6666)
+    assert tree.lookup("192.0.2.1") == 4444
+    assert tree.lookup("2001:db8::1") == 6666
+
+
+def test_parse_cache_only_caches_parsing_not_results():
+    """The LRU sits on the pure string->int step; the mutable trie must
+    still see inserts that land after a cached-miss lookup."""
+    tree = PrefixTree()
+    address = "100.99.1.1"
+    assert tree.lookup(address) is None
+    tree.insert("100.99.0.0/16", 64500)
+    assert tree.lookup(address) == 64500
+
+
+def test_items_roundtrip_unchanged_by_int_lookups():
+    tree = PrefixTree()
+    tree.insert("100.64.0.0/16", 64496)
+    tree.insert("2001:db8::/48", 64498)
+    tree.lookup("100.64.3.4")
+    assert sorted(tree.items()) == [
+        ("100.64.0.0/16", 64496),
+        ("2001:db8::/48", 64498),
+    ]
+    assert len(tree) == 2

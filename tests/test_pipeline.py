@@ -54,6 +54,29 @@ def test_campaign_run_at_missing_week_raises(campaign):
         campaign.run_at(Week(2020, 1))
 
 
+def test_campaign_run_at_uses_week_index(campaign):
+    for run in campaign.runs:
+        assert campaign.run_at(run.week) is run
+        assert campaign.closest_run(run.week) is run  # exact hit, O(1)
+
+
+def test_campaign_index_tolerates_direct_appends():
+    """Analysis code appends to ``runs`` directly; the index must follow."""
+    from repro.pipeline.campaign import Campaign
+    from repro.pipeline.runs import WeeklyRun
+
+    campaign = Campaign()
+    first = WeeklyRun(week=Week(2023, 10), vantage_id="main-aachen", ip_version=4)
+    campaign.runs.append(first)
+    assert campaign.run_at(Week(2023, 10)) is first
+    later = WeeklyRun(week=Week(2023, 12), vantage_id="main-aachen", ip_version=4)
+    campaign.runs.append(later)
+    assert campaign.run_at(Week(2023, 12)) is later
+    assert campaign.closest_run(Week(2023, 11)).week in (Week(2023, 10), Week(2023, 12))
+    with pytest.raises(ValueError):
+        Campaign().closest_run(Week(2023, 10))
+
+
 # ----------------------------------------------------------------------
 # Toplists
 # ----------------------------------------------------------------------
