@@ -4,16 +4,25 @@ Not a paper table — this pins the simulator's own performance so
 regressions in the packet path and the site-first scan engine show up
 in CI.  Every case also records its timing into ``BENCH_pipeline.json``
 at the repo root (build time, scan time, campaign time, domains/s) so
-the perf trajectory is tracked across PRs.
+the perf trajectory is tracked across PRs; every field of that file is
+documented in ``docs/benchmarks.md``.
 
 Runs under the bench harness (pytest-benchmark) or standalone::
 
-    PYTHONPATH=src python benchmarks/bench_pipeline_scan.py
+    PYTHONPATH=src python benchmarks/bench_pipeline_scan.py            # full, scale 8000
+    PYTHONPATH=src python benchmarks/bench_pipeline_scan.py --smoke    # scale-1000 smoke
+    PYTHONPATH=src python benchmarks/bench_pipeline_scan.py --smoke --check  # CI gate
+
+``--smoke`` records ``smoke_*`` fields; ``--check`` compares the fresh
+smoke scan time against the committed baseline instead of recording,
+and exits non-zero on a >2x regression.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -21,7 +30,21 @@ import repro
 from repro.web.spec import WorldConfig
 
 SCALE = 8_000
+SMOKE_SCALE = 1_000
+#: CI gate: fail when the smoke scan is more than this factor slower
+#: than the committed ``smoke_scan_seconds`` baseline.
+SMOKE_REGRESSION_FACTOR = 2.0
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+#: Throughput of the untouched seed (commit ff796bd), measured with this
+#: harness at scale 8000 on the PR-2 builder — the fixed denominator of
+#: the speedup columns tracked in ROADMAP.md / docs/benchmarks.md.
+SEED_BASELINE = {
+    "seed_scan_seconds": 0.2383,
+    "seed_scan_domains_per_second": 97_612,
+    "seed_campaign_seconds": 3.3522,
+    "seed_campaign_domains_per_second": 88_931,
+}
 
 
 def _record(**metrics) -> None:
@@ -34,6 +57,7 @@ def _record(**metrics) -> None:
             data = {}
     data.update(metrics)
     data["scale"] = SCALE
+    data.update(SEED_BASELINE)
     RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
@@ -43,6 +67,17 @@ def _timed(fn):
     return result, time.perf_counter() - start
 
 
+def _best_of(fn, rounds: int = 3):
+    result, durations = None, []
+    for _ in range(rounds):
+        result, elapsed = _timed(fn)
+        durations.append(elapsed)
+    return result, min(durations)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark cases
+# ----------------------------------------------------------------------
 def bench_world_build(benchmark):
     durations: list[float] = []
 
@@ -106,22 +141,42 @@ def bench_campaign(benchmark):
     print(f"\ncampaign: {len(result.runs)} weeks, {total_obs} observations")
 
 
-def main() -> None:  # standalone entry point (no pytest-benchmark needed)
+def bench_campaign_sharded(benchmark):
+    """The sharded site phase (4 shards, in-process executor)."""
+    world = repro.build_world(WorldConfig(scale=SCALE))
+    durations: list[float] = []
+
+    def campaign():
+        result, elapsed = _timed(lambda: repro.run_campaign(world, shards=4))
+        durations.append(elapsed)
+        return result
+
+    result = benchmark.pedantic(campaign, rounds=3, iterations=1)
+    assert result.runs
+    total_obs = sum(len(run.observations) for run in result.runs)
+    best = min(durations)
+    _record(
+        campaign_sharded_seconds=best,
+        campaign_sharded_shards=4,
+        campaign_sharded_domains_per_second=round(total_obs / best),
+    )
+
+
+# ----------------------------------------------------------------------
+# Standalone entry points
+# ----------------------------------------------------------------------
+def run_full() -> None:
     world, build_elapsed = _timed(lambda: repro.build_world(WorldConfig(scale=SCALE)))
     _record(build_seconds=build_elapsed)
     print(f"build: {build_elapsed:.3f}s ({len(world.domains)} domains, "
           f"{len(world.sites)} sites)")
 
     world.scan_engine().plan_for(4, ("cno", "toplist"))
-    scan_durations = []
-    for _ in range(3):
-        run, elapsed = _timed(
-            lambda: repro.run_weekly_scan(
-                world, world.config.reference_week, run_tracebox=True
-            )
+    run, best = _best_of(
+        lambda: repro.run_weekly_scan(
+            world, world.config.reference_week, run_tracebox=True
         )
-        scan_durations.append(elapsed)
-    best = min(scan_durations)
+    )
     _record(
         scan_seconds=best,
         scan_domains=len(run.observations),
@@ -129,17 +184,81 @@ def main() -> None:  # standalone entry point (no pytest-benchmark needed)
     )
     print(f"scan: {best:.4f}s ({round(len(run.observations) / best)} domains/s)")
 
-    result, campaign_elapsed = _timed(lambda: repro.run_campaign(world))
+    result, campaign_best = _best_of(lambda: repro.run_campaign(world))
     total_obs = sum(len(r.observations) for r in result.runs)
     _record(
-        campaign_seconds=campaign_elapsed,
+        campaign_seconds=campaign_best,
         campaign_weeks=len(result.runs),
-        campaign_domains_per_second=round(total_obs / campaign_elapsed),
+        campaign_domains_per_second=round(total_obs / campaign_best),
     )
-    print(f"campaign: {campaign_elapsed:.3f}s ({len(result.runs)} weeks, "
-          f"{round(total_obs / campaign_elapsed)} domains/s)")
+    print(f"campaign: {campaign_best:.3f}s ({len(result.runs)} weeks, "
+          f"{round(total_obs / campaign_best)} domains/s)")
+
+    sharded, sharded_best = _best_of(lambda: repro.run_campaign(world, shards=4))
+    sharded_obs = sum(len(r.observations) for r in sharded.runs)
+    _record(
+        campaign_sharded_seconds=sharded_best,
+        campaign_sharded_shards=4,
+        campaign_sharded_domains_per_second=round(sharded_obs / sharded_best),
+    )
+    print(f"campaign (4 shards): {sharded_best:.3f}s "
+          f"({round(sharded_obs / sharded_best)} domains/s)")
     print(f"wrote {RESULTS_PATH}")
 
 
+def run_smoke(check: bool) -> int:
+    """Scale-1000 smoke: fast enough for every CI run.
+
+    With ``check`` the fresh scan time is compared against the committed
+    ``smoke_scan_seconds``; returns non-zero on a >2x regression.
+    """
+    world = repro.build_world(WorldConfig(scale=SMOKE_SCALE))
+    world.scan_engine().plan_for(4, ("cno", "toplist"))
+    run, best = _best_of(
+        lambda: repro.run_weekly_scan(
+            world, world.config.reference_week, run_tracebox=True
+        )
+    )
+    print(f"smoke scan (scale {SMOKE_SCALE}): {best:.4f}s "
+          f"({len(run.observations)} domains)")
+    if not check:
+        _record(
+            smoke_scale=SMOKE_SCALE,
+            smoke_scan_seconds=best,
+            smoke_scan_domains=len(run.observations),
+        )
+        print(f"wrote {RESULTS_PATH}")
+        return 0
+    try:
+        baseline = json.loads(RESULTS_PATH.read_text()).get("smoke_scan_seconds")
+    except (OSError, ValueError):
+        baseline = None
+    if baseline is None:
+        print("no committed smoke_scan_seconds baseline; run --smoke without "
+              "--check first", file=sys.stderr)
+        return 2
+    limit = baseline * SMOKE_REGRESSION_FACTOR
+    print(f"baseline {baseline:.4f}s, limit {limit:.4f}s")
+    if best > limit:
+        print(f"FAIL: smoke scan regressed >{SMOKE_REGRESSION_FACTOR}x "
+              f"({best:.4f}s > {limit:.4f}s)", file=sys.stderr)
+        return 1
+    print("OK: within regression budget")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"scale-{SMOKE_SCALE} scan smoke instead of the full suite")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline, do not record")
+    args = parser.parse_args()
+    if args.smoke:
+        return run_smoke(check=args.check)
+    run_full()
+    return 0
+
+
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

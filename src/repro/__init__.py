@@ -48,6 +48,7 @@ from repro.analysis import (
 )
 from repro.pipeline import (
     Campaign,
+    ShardedScanEngine,
     WeeklyRun,
     run_campaign,
     run_distributed,
@@ -82,6 +83,7 @@ __all__ = [
     "table6",
     "table7",
     "Campaign",
+    "ShardedScanEngine",
     "WeeklyRun",
     "run_campaign",
     "run_distributed",

@@ -59,8 +59,16 @@ def _cmd_scan(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    if args.shards is None and args.shard_executor != "inline":
+        print("--shard-executor requires --shards", file=sys.stderr)
+        return 2
     world = _build_world(args)
-    campaign = repro.run_campaign(world, cadence_weeks=args.cadence)
+    campaign = repro.run_campaign(
+        world,
+        cadence_weeks=args.cadence,
+        shards=args.shards,
+        shard_executor=args.shard_executor,
+    )
     print(longitudinal_report(campaign))
     return 0
 
@@ -147,6 +155,20 @@ def build_parser() -> argparse.ArgumentParser:
     campaign = sub.add_parser("campaign", help="longitudinal Figures 3/4/8")
     _add_world_args(campaign)
     campaign.add_argument("--cadence", type=int, default=12, help="weeks between scans")
+    campaign.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard the site phase over deterministic per-site RNG substreams "
+             "(order-independent, parallelizable; roughly throughput-parity "
+             "with the serial engine at bench scales — see docs/architecture.md)",
+    )
+    campaign.add_argument(
+        "--shard-executor",
+        choices=("inline", "process"),
+        default="inline",
+        help="how shards execute: in-process or a fork pool",
+    )
     campaign.set_defaults(func=_cmd_campaign)
 
     distributed = sub.add_parser("distributed", help="global Figure 7")

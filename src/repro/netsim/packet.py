@@ -14,7 +14,7 @@ from typing import Any
 from repro.core.codepoints import ECN, ecn_from_tos, tos_with_ecn
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlowKey:
     """5-tuple used for ECMP hashing and connection demultiplexing."""
 
@@ -28,7 +28,7 @@ class FlowKey:
         return FlowKey(self.dst, self.src, self.dport, self.sport, self.proto)
 
 
-@dataclass
+@dataclass(slots=True)
 class UdpPayload:
     """A UDP datagram body; ``data`` is typically a QUIC packet object."""
 
@@ -37,7 +37,7 @@ class UdpPayload:
     data: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpPayload:
     """A TCP segment: flags + data (no sequence-number machinery needed)."""
 
@@ -51,12 +51,14 @@ class TcpPayload:
     data: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class IpPacket:
     """An IPv4/IPv6 packet as it travels hop by hop.
 
     Routers mutate ``tos`` and ``ttl`` in place on a per-hop copy; use
     :meth:`clone` for an independent copy (e.g. for ICMP quotes).
+    Slotted: one of these is built per simulated datagram per direction,
+    so attribute storage is the scan hot loop's dominant allocation.
     """
 
     version: int  # 4 or 6

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.netsim.clock import Clock
-from repro.netsim.hops import Router
+from repro.netsim.hops import EcnAction, Router
 from repro.netsim.icmp import IcmpMessage, QuotedPacket
 from repro.netsim.packet import IpPacket
 from repro.util.rng import RngStream
@@ -36,10 +36,23 @@ class NetworkPath:
 
     hops: list[Router]
     base_loss: float = 0.0  # end-to-end random loss applied before hop losses
+    #: True when no hop rewrites ECN, drops, or AQM-marks — such a path
+    #: forwards every packet unchanged (besides TTL) and makes zero RNG
+    #: draws, so traversal reduces to one clone + TTL subtraction.  Hop
+    #: behaviours are fixed at construction (nothing in the repo mutates
+    #: a built Router), so this is precomputed once per path.
+    _transparent: bool = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.hops:
             raise ValueError("a path needs at least one hop")
+        self._transparent = all(
+            hop.ecn_action is EcnAction.PASS
+            and hop.aqm_ce_probability == 0.0
+            and hop.drop_probability == 0.0
+            and not hop.drop_if_ect
+            for hop in self.hops
+        )
 
     @property
     def length(self) -> int:
@@ -52,6 +65,13 @@ class NetworkPath:
         """Send ``packet`` down the path; the input object is not mutated."""
         if self.base_loss > 0 and rng.random() < self.base_loss:
             return TraversalResult(dropped_at_hop=0)
+        if self._transparent and packet.ttl > len(self.hops):
+            # Fast lane: no hop touches the packet and the TTL survives,
+            # so the per-hop loop is pure bookkeeping.  Draw-equivalent to
+            # the loop below (transparent hops never consult the RNG).
+            current = packet.clone()
+            current.ttl -= len(self.hops)
+            return TraversalResult(delivered=current)
         current = packet.clone()
         for index, hop in enumerate(self.hops):
             # TTL is checked on arrival at the router (before forwarding).

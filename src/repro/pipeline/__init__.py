@@ -3,6 +3,7 @@
 from repro.pipeline.campaign import Campaign, run_campaign
 from repro.pipeline.engine import ScanEngine, SiteResultCache
 from repro.pipeline.runs import WeeklyRun, run_weekly_scan, run_weekly_scan_reference
+from repro.pipeline.sharding import ShardedScanEngine
 from repro.pipeline.toplists import merged_toplist_domains
 from repro.pipeline.vantage import VantageRun, run_distributed
 
@@ -10,6 +11,7 @@ __all__ = [
     "Campaign",
     "run_campaign",
     "ScanEngine",
+    "ShardedScanEngine",
     "SiteResultCache",
     "WeeklyRun",
     "run_weekly_scan",

@@ -70,6 +70,8 @@ def run_campaign(
     populations: tuple[str, ...] = ("cno",),
     run_tracebox: bool = False,
     reuse_site_results: bool = False,
+    shards: int | None = None,
+    shard_executor: str = "inline",
 ) -> Campaign:
     """Scan the world repeatedly over the measurement period.
 
@@ -80,6 +82,14 @@ def run_campaign(
     ``reuse_site_results`` additionally skips re-scanning sites whose
     behaviour epoch has not changed (epoch-accurate, not draw-accurate —
     see :meth:`ScanEngine.run_weeks`).
+
+    ``shards`` switches the site phase to a
+    :class:`~repro.pipeline.sharding.ShardedScanEngine` with that many
+    shards (``shard_executor`` picks ``"inline"`` or ``"process"``).
+    Sharded campaigns use deterministic per-site RNG substreams rather
+    than the shared reference stream — reproducible and shard-count
+    independent, but a different realisation of the stochastic draws
+    (docs/architecture.md#sharded-site-phase).
     """
     if weeks is None:
         weeks = []
@@ -89,13 +99,28 @@ def run_campaign(
             week = week + cadence_weeks
         if weeks[-1] != world.config.reference_week:
             weeks.append(world.config.reference_week)
+    if shards is None:
+        if shard_executor != "inline":
+            raise ValueError(
+                f"shard_executor={shard_executor!r} has no effect without shards; "
+                "pass shards=N to run a sharded site phase"
+            )
+        engine = world.scan_engine()
+    else:
+        from repro.pipeline.sharding import ShardedScanEngine
+
+        engine = ShardedScanEngine(world, shards=shards, executor=shard_executor)
     campaign = Campaign()
-    for run in world.scan_engine().run_weeks(
-        weeks,
-        vantage_id,
-        populations=populations,
-        run_tracebox=run_tracebox,
-        reuse_site_results=reuse_site_results,
-    ):
-        campaign.add_run(run)
+    try:
+        for run in engine.run_weeks(
+            weeks,
+            vantage_id,
+            populations=populations,
+            run_tracebox=run_tracebox,
+            reuse_site_results=reuse_site_results,
+        ):
+            campaign.add_run(run)
+    finally:
+        if shards is not None:
+            engine.close()
     return campaign

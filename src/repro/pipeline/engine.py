@@ -23,8 +23,19 @@ The engine splits a weekly run into two phases (docs/architecture.md):
    per-domain work is a tuple-splat construction plus a few attribute
    stores; no string parsing, no trie walks, no policy evaluation.
 
-:meth:`ScanEngine.site_events` exposes the ordered site phase as data —
-the hook future week-sharded / multiprocessing executors partition.
+:meth:`ScanEngine.site_events` exposes the ordered site phase as data.
+:class:`~repro.pipeline.sharding.ShardedScanEngine` partitions it across
+workers; the ``site_rng`` mode below is what makes that sound:
+
+* ``"shared"`` (default) — exchanges draw from the world's one
+  sequential network RNG stream and advance the one shared clock, in
+  reference trigger order.  Byte-identical to the per-domain loop.
+* ``"per-site"`` — every site event draws from an independent
+  :class:`~repro.util.rng.RngStream` seeded deterministically from
+  (world seed, week, vantage, family, site, kind) and runs against its
+  own virtual clock.  Exchanges become order-independent, so any
+  partition of the site phase — serial, shards, processes, any worker
+  permutation — produces identical results.
 """
 
 from __future__ import annotations
@@ -33,11 +44,13 @@ from dataclasses import dataclass, field
 from itertools import starmap
 from typing import TYPE_CHECKING, Sequence
 
+from repro.netsim.clock import Clock
 from repro.pipeline.runs import WeeklyRun, _run_traces, ensure_site_record
 from repro.quic.connection import QuicConnectionResult
 from repro.scanner.quic_scan import QuicScanConfig, scan_site_quic
 from repro.scanner.results import DomainObservation
 from repro.scanner.tcp_scan import TcpScanConfig, scan_site_tcp
+from repro.util.rng import RngStream
 from repro.util.weeks import Week
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (world -> engine)
@@ -329,6 +342,8 @@ class ScanEngine:
         config: QuicScanConfig,
         authority_domain: str,
         reuse: SiteResultCache | None,
+        rng: RngStream | None = None,
+        clock: Clock | None = None,
     ) -> QuicConnectionResult:
         if reuse is not None:
             epoch = self.behaviour_epoch(site, week, vantage_id, config.ip_version)
@@ -342,6 +357,8 @@ class ScanEngine:
             vantage_id,
             config,
             authority=f"www.{authority_domain}",
+            rng=rng,
+            clock=clock,
         )
         if reuse is not None:
             reuse.quic[site.index] = (epoch, result)
@@ -350,6 +367,124 @@ class ScanEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def event_stream(
+        self, event: SiteEvent, week: Week, vantage_id: str, ip_version: int
+    ) -> RngStream:
+        """The deterministic RNG substream of one site event.
+
+        Seeded from everything that identifies the exchange — the shard
+        layout, executor, and worker order never enter the seed, which is
+        why any partition of the site phase reproduces the same draws.
+        """
+        kind = "quic" if event.kind == QUIC_EVENT else "tcp"
+        name = (
+            f"site-scan/{week}/{vantage_id}/v{ip_version}/"
+            f"{event.site_index}/{kind}"
+        )
+        return RngStream(self.world.config.seed, name)
+
+    def _run_event(
+        self,
+        event: SiteEvent,
+        week: Week,
+        vantage_id: str,
+        quic_config: QuicScanConfig,
+        tcp_config: TcpScanConfig,
+        records: dict,
+        reuse: SiteResultCache | None,
+        rng: RngStream | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        """Execute one site event into ``records``."""
+        record = ensure_site_record(records, event.site_index, event.address)
+        site = self.world.sites[event.site_index]
+        if event.kind == QUIC_EVENT:
+            record.quic = self._site_quic(
+                site,
+                week,
+                vantage_id,
+                quic_config,
+                event.authority_domain,
+                reuse,
+                rng=rng,
+                clock=clock,
+            )
+        else:
+            record.tcp = scan_site_tcp(
+                self.world,
+                site,
+                week,
+                vantage_id,
+                tcp_config,
+                authority=f"www.{event.authority_domain}",
+                rng=rng,
+                clock=clock,
+            )
+
+    def _execute_site_phase(
+        self,
+        events: list[SiteEvent],
+        week: Week,
+        vantage_id: str,
+        ip_version: int,
+        quic_config: QuicScanConfig,
+        tcp_config: TcpScanConfig,
+        records: dict,
+        reuse: SiteResultCache | None,
+        site_rng: str,
+    ) -> None:
+        """Run all site events (serially; overridden by the sharded engine)."""
+        if site_rng == "shared":
+            for event in events:
+                self._run_event(
+                    event, week, vantage_id, quic_config, tcp_config, records, reuse
+                )
+            return
+        if site_rng != "per-site":
+            raise ValueError(f"unknown site_rng mode: {site_rng!r}")
+        # Independent substream + private clock per event; the shared
+        # clock advances by the summed elapsed time, in event order, so
+        # any executor that merges in event order lands on the same
+        # (bit-identical) float.
+        elapsed = 0.0
+        for event in events:
+            elapsed += self._run_event_per_site(
+                event, week, vantage_id, ip_version, quic_config, tcp_config,
+                records, reuse,
+            )
+        self.world.clock.advance(elapsed)
+
+    def _run_event_per_site(
+        self,
+        event: SiteEvent,
+        week: Week,
+        vantage_id: str,
+        ip_version: int,
+        quic_config: QuicScanConfig,
+        tcp_config: TcpScanConfig,
+        records: dict,
+        reuse: SiteResultCache | None = None,
+    ) -> float:
+        """One event on its own substream + clock; returns elapsed time.
+
+        The single definition of per-site execution — the serial
+        per-site mode above and every sharded executor run exactly this,
+        which is what keeps them bit-identical.
+        """
+        clock = Clock()
+        self._run_event(
+            event,
+            week,
+            vantage_id,
+            quic_config,
+            tcp_config,
+            records,
+            reuse,
+            rng=self.event_stream(event, week, vantage_id, ip_version),
+            clock=clock,
+        )
+        return clock.now
+
     def run_week(
         self,
         week: Week,
@@ -362,8 +497,14 @@ class ScanEngine:
         tcp_config: TcpScanConfig | None = None,
         run_tracebox: bool = False,
         reuse: SiteResultCache | None = None,
+        site_rng: str = "shared",
     ) -> WeeklyRun:
-        """One weekly run, equal field-for-field to the reference loop."""
+        """One weekly run, equal field-for-field to the reference loop.
+
+        ``site_rng="per-site"`` switches the site phase to independent
+        per-event RNG substreams (see the module docstring) — the mode
+        the sharded engine golden-tests against.
+        """
         world = self.world
         plan = self.plan_for(ip_version, populations)
         quic_config = quic_config or QuicScanConfig(ip_version=ip_version)
@@ -374,23 +515,17 @@ class ScanEngine:
         # Phase 1: per-site exchanges, in reference trigger order.
         events, quic_capable = self._schedule(plan, week, vantage_id, include_tcp)
         records = run.site_records
-        sites = world.sites
-        for event in events:
-            record = ensure_site_record(records, event.site_index, event.address)
-            site = sites[event.site_index]
-            if event.kind == QUIC_EVENT:
-                record.quic = self._site_quic(
-                    site, week, vantage_id, quic_config, event.authority_domain, reuse
-                )
-            else:
-                record.tcp = scan_site_tcp(
-                    world,
-                    site,
-                    week,
-                    vantage_id,
-                    tcp_config,
-                    authority=f"www.{event.authority_domain}",
-                )
+        self._execute_site_phase(
+            events,
+            week,
+            vantage_id,
+            ip_version,
+            quic_config,
+            tcp_config,
+            records,
+            reuse,
+            site_rng,
+        )
 
         # Phase 2: fan per-site results out to domains.
         share = world.adoption_share(week)
@@ -425,6 +560,7 @@ class ScanEngine:
         tcp_config: TcpScanConfig | None = None,
         run_tracebox: bool = False,
         reuse_site_results: bool = False,
+        site_rng: str = "shared",
     ) -> list[WeeklyRun]:
         """A run per week, sharing one plan (and optionally site results).
 
@@ -446,6 +582,7 @@ class ScanEngine:
                 tcp_config=tcp_config,
                 run_tracebox=run_tracebox,
                 reuse=reuse,
+                site_rng=site_rng,
             )
             for week in weeks
         ]

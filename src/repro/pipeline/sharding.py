@@ -1,0 +1,247 @@
+"""Sharded site-phase execution (the PR-1 ``site_events`` hook, cashed in).
+
+:class:`ShardedScanEngine` partitions the ordered site phase of a weekly
+run into ``shards`` groups and executes each group independently —
+either in-process (``executor="inline"``) or on a pool of forked worker
+processes (``executor="process"``).  Attribution, tracebox and analysis
+stay central: workers only ever produce per-site scan records.
+
+Determinism is the whole design.  Every site event draws from an RNG
+substream seeded by (world seed, week, vantage, family, site, kind) —
+:meth:`ScanEngine.event_stream` — and runs against a private virtual
+clock, so no exchange can observe another's draws or timing.  As a
+consequence the merged output is *identical* for any shard count, any
+worker permutation, and both executors, and equals the serial
+:class:`~repro.pipeline.engine.ScanEngine` run in ``site_rng="per-site"``
+mode (golden-tested in ``tests/test_pipeline_sharding.py``).  Relative
+to the default ``"shared"`` mode the per-site substreams realise a
+different (equally valid) sequence of stochastic loss draws; epoch-level
+behaviour — what the paper's tables and figures aggregate — is the same.
+
+The process executor forks workers (POSIX only), so the world is
+inherited by reference snapshot instead of being pickled; only the
+per-shard event lists travel to workers and only slotted
+``(site_index, kind, result, elapsed)`` tuples travel back.  Build the
+world completely before the first sharded run and call :meth:`close`
+(or use the engine as a context manager) when done.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Sequence
+
+from repro.pipeline.engine import (
+    QUIC_EVENT,
+    ScanEngine,
+    SiteEvent,
+    SiteResultCache,
+)
+from repro.scanner.quic_scan import QuicScanConfig
+from repro.scanner.tcp_scan import TcpScanConfig
+from repro.util.weeks import Week
+
+#: Engine inherited by forked pool workers (fork snapshots this module's
+#: globals, so nothing is pickled; see _ensure_pool).
+_WORKER_ENGINE: "ShardedScanEngine | None" = None
+
+
+def default_shards() -> int:
+    """Shard count used when none is given: the machine's CPU count,
+    capped — site phases at common scales do not amortise more workers."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class ShardedScanEngine(ScanEngine):
+    """A :class:`ScanEngine` whose site phase runs in parallel shards.
+
+    Drop-in for ``ScanEngine``: ``run_week`` / ``run_weeks`` /
+    ``site_events`` keep their signatures, and scan plans are shared
+    with the world's serial engine so campaigns pay planning once no
+    matter which engine executes them.  ``site_rng`` is forced to
+    ``"per-site"`` — shared-stream semantics cannot be partitioned.
+    """
+
+    def __init__(
+        self,
+        world,
+        *,
+        shards: int | None = None,
+        executor: str = "inline",
+        shard_order: Sequence[int] | None = None,
+    ):
+        super().__init__(world)
+        if executor not in ("inline", "process"):
+            raise ValueError(f"unknown executor: {executor!r}")
+        self.shards = shards if shards is not None else default_shards()
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.executor = executor
+        #: Test seam: the order shards are *executed* in (inline mode).
+        #: Results are order-independent; the golden tests permute this.
+        self.shard_order = shard_order
+        self._plans = world.scan_engine()._plans  # share plan cache
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    def run_week(self, week, vantage_id="main-aachen", *, site_rng="per-site", **kwargs):
+        """As :meth:`ScanEngine.run_week`, defaulting to per-site RNG."""
+        return super().run_week(week, vantage_id, site_rng=site_rng, **kwargs)
+
+    def run_weeks(self, weeks, vantage_id="main-aachen", *, site_rng="per-site", **kwargs):
+        """As :meth:`ScanEngine.run_weeks`, defaulting to per-site RNG."""
+        return super().run_weeks(weeks, vantage_id, site_rng=site_rng, **kwargs)
+
+    # ------------------------------------------------------------------
+    def partition(self, events: list[SiteEvent]) -> list[list[SiteEvent]]:
+        """Stable partition of the site phase: shard = site_index mod N.
+
+        Keeping a site's QUIC and TCP events on one shard preserves any
+        per-site locality (server construction, policy memos) a worker
+        builds up, and the assignment never depends on event order.
+        """
+        groups: list[list[SiteEvent]] = [[] for _ in range(self.shards)]
+        for event in events:
+            groups[event.site_index % self.shards].append(event)
+        return groups
+
+    def _execute_site_phase(
+        self,
+        events,
+        week,
+        vantage_id,
+        ip_version,
+        quic_config,
+        tcp_config,
+        records,
+        reuse,
+        site_rng,
+    ) -> None:
+        if site_rng == "shared":
+            raise ValueError(
+                "ShardedScanEngine cannot execute shared-stream site phases; "
+                "use site_rng='per-site' (the default here) or the serial "
+                "ScanEngine"
+            )
+        if reuse is not None and self.executor == "process":
+            raise ValueError(
+                "reuse_site_results needs a cache shared across weeks; "
+                "process workers cannot provide one deterministically — "
+                "use executor='inline'"
+            )
+        shards = self.partition(events)
+        order = self.shard_order if self.shard_order is not None else range(len(shards))
+        merged: dict[tuple[int, int], tuple[object, float]] = {}
+        if self.executor == "inline":
+            for shard_index in order:
+                for entry in self._run_shard(
+                    shards[shard_index],
+                    week,
+                    vantage_id,
+                    ip_version,
+                    quic_config,
+                    tcp_config,
+                    reuse,
+                ):
+                    merged[(entry[0], entry[1])] = (entry[2], entry[3])
+        else:
+            pool = self._ensure_pool()
+            payloads = [
+                (shards[i], week, vantage_id, ip_version, quic_config, tcp_config)
+                for i in order
+                if shards[i]
+            ]
+            for shard_result in pool.map(_pool_run_shard, payloads):
+                for site_index, kind, result, elapsed in shard_result:
+                    merged[(site_index, kind)] = (result, elapsed)
+
+        # Merge centrally, in the serial event order: records fill in the
+        # same sequence and the clock sums the same floats in the same
+        # order as the serial per-site engine.
+        from repro.pipeline.runs import ensure_site_record
+
+        elapsed_total = 0.0
+        for event in events:
+            result, elapsed = merged[(event.site_index, event.kind)]
+            record = ensure_site_record(records, event.site_index, event.address)
+            if event.kind == QUIC_EVENT:
+                record.quic = result
+            else:
+                record.tcp = result
+            elapsed_total += elapsed
+        self.world.clock.advance(elapsed_total)
+
+    # ------------------------------------------------------------------
+    def _run_shard(
+        self,
+        events: list[SiteEvent],
+        week: Week,
+        vantage_id: str,
+        ip_version: int,
+        quic_config: QuicScanConfig,
+        tcp_config: TcpScanConfig,
+        reuse: SiteResultCache | None = None,
+    ) -> list[tuple[int, int, object, float]]:
+        """Execute one shard's events; returns (site, kind, result, elapsed)."""
+        out: list[tuple[int, int, object, float]] = []
+        records: dict = {}
+        for event in events:
+            elapsed = self._run_event_per_site(
+                event, week, vantage_id, ip_version, quic_config, tcp_config,
+                records, reuse,
+            )
+            record = records[event.site_index]
+            result = record.quic if event.kind == QUIC_EVENT else record.tcp
+            out.append((event.site_index, event.kind, result, elapsed))
+        return out
+
+    # ------------------------------------------------------------------
+    # Process pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            global _WORKER_ENGINE
+            ctx = multiprocessing.get_context("fork")
+            _WORKER_ENGINE = self
+            try:
+                self._pool = ctx.Pool(processes=min(self.shards, os.cpu_count() or 1))
+            finally:
+                _WORKER_ENGINE = None
+        return self._pool
+
+    def close(self) -> None:
+        """Dispose the worker pool (no-op for the inline executor)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def invalidate(self) -> None:
+        """Drop cached plans *and* the forked pool (its world snapshot
+        predates whatever mutation triggered the invalidation)."""
+        super().invalidate()
+        self.close()
+
+    def __enter__(self) -> "ShardedScanEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _pool_run_shard(payload):
+    """Pool task: run one shard on the engine inherited via fork."""
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - misuse guard
+        raise RuntimeError("worker has no inherited ShardedScanEngine")
+    events, week, vantage_id, ip_version, quic_config, tcp_config = payload
+    return engine._run_shard(
+        events, week, vantage_id, ip_version, quic_config, tcp_config
+    )

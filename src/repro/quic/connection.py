@@ -12,6 +12,7 @@ loopback in unit tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterable, Protocol
 
 from repro.core.codepoints import ECN
@@ -110,11 +111,15 @@ class QuicClient:
         *,
         rng=None,
     ):
-        from repro.util.rng import RngStream
-
         self.wire = wire
         self.config = config or QuicClientConfig()
-        self.rng = rng if rng is not None else RngStream(0, "quic-client")
+        # The client only draws randomness for §9.3 greasing; seeding a
+        # stream costs a SHA-256, so plain scans skip it entirely.
+        if rng is None and self.config.grease_ecn:
+            from repro.util.rng import RngStream
+
+            rng = RngStream(0, "quic-client")
+        self.rng = rng
         self.validator = EcnValidator(config=self.config.validation)
         self.result = QuicConnectionResult()
         self._pn_next: dict[PacketNumberSpace, int] = {
@@ -252,13 +257,11 @@ class QuicClient:
     # Sending helpers
     # ------------------------------------------------------------------
     def _send_initial(self, target_ip: str, version: QuicVersion) -> list[IpPacket]:
-        build = lambda pn: LongHeaderPacket(  # noqa: E731 - local factory
-            packet_type=PacketType.INITIAL,
-            version=version,
-            dcid=self._dcid,
-            scid=self._scid,
-            packet_number=pn,
-            frames=(CryptoFrame(0, b"client-hello"),),
+        # Initials are identical for every scanned site except the packet
+        # number, so the frozen packet template is built once per
+        # (version, pn) and shared across all connections (fast path).
+        build = lambda pn: _initial_packet(  # noqa: E731 - local factory
+            version, self._dcid, self._scid, pn
         )
         return self._send_with_retry(
             target_ip,
@@ -423,6 +426,40 @@ def _find_version_negotiation(
 
 
 # ----------------------------------------------------------------------
+# Packet / request templates (the per-exchange fast path)
+# ----------------------------------------------------------------------
+_CLIENT_HELLO_FRAMES = (CryptoFrame(0, b"client-hello"),)
+
+
+@lru_cache(maxsize=64)
+def _initial_packet(
+    version: QuicVersion, dcid: bytes, scid: bytes, pn: int
+) -> LongHeaderPacket:
+    """Shared frozen Initial template; immutable, so reuse cannot leak
+    state between connections (tested in test_quic_connection_edge)."""
+    return LongHeaderPacket(
+        packet_type=PacketType.INITIAL,
+        version=version,
+        dcid=dcid,
+        scid=scid,
+        packet_number=pn,
+        frames=_CLIENT_HELLO_FRAMES,
+    )
+
+
+@lru_cache(maxsize=64)
+def _request_template(
+    method: str, path: str, headers: tuple[tuple[str, str], ...]
+) -> tuple[bytes, bytes]:
+    """Site-invariant (prefix, suffix) of the encoded GET; only the
+    authority between them changes per scanned site."""
+    head = f"{method} {path} HTTP/3\r\nauthority: ".encode()
+    tail_lines = [f"{key}: {value}" for key, value in headers]
+    tail = ("\r\n" + "\r\n".join(tail_lines) + "\r\n\r\n" if tail_lines else "\r\n\r\n").encode()
+    return head, tail
+
+
+# ----------------------------------------------------------------------
 # Wire-format helpers
 # ----------------------------------------------------------------------
 _TP_MAGIC = b"TPRM"
@@ -434,10 +471,20 @@ _response_registry: dict[bytes, HttpResponse] = {}
 _params_registry: dict[bytes, TransportParameters] = {}
 
 
+_params_blob_cache: dict[TransportParameters, bytes] = {}
+
+
 def embed_transport_params(params: TransportParameters) -> bytes:
-    """Serialise transport parameters into a CRYPTO payload blob."""
-    blob = _TP_MAGIC + params.encode()
-    _params_registry[blob] = params
+    """Serialise transport parameters into a CRYPTO payload blob.
+
+    Memoized per parameter set: server stacks embed the same week-invariant
+    parameters into every handshake, so the varint encoding runs once.
+    """
+    blob = _params_blob_cache.get(params)
+    if blob is None:
+        blob = _TP_MAGIC + params.encode()
+        _params_registry[blob] = params
+        _params_blob_cache[params] = blob
     return blob
 
 
@@ -469,11 +516,8 @@ def _extract_response(frame: StreamFrame) -> HttpResponse | None:
 
 def _split_request(request: HttpRequest, parts: int) -> list[bytes]:
     """Encode the GET and split it across ``parts`` stream chunks."""
-    header_lines = [f"{request.method} {request.path} HTTP/3"]
-    header_lines.append(f"authority: {request.authority}")
-    for key, value in request.headers:
-        header_lines.append(f"{key}: {value}")
-    raw = ("\r\n".join(header_lines) + "\r\n\r\n").encode()
+    head, tail = _request_template(request.method, request.path, request.headers)
+    raw = head + request.authority.encode() + tail
     parts = max(1, parts)
     chunk_size = max(1, (len(raw) + parts - 1) // parts)
     chunks = [raw[i : i + chunk_size] for i in range(0, len(raw), chunk_size)]

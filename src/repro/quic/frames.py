@@ -8,6 +8,7 @@ the raw material of QUIC ECN validation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Union
 
 from repro.core.counters import EcnCounts
@@ -23,7 +24,7 @@ FRAME_CONNECTION_CLOSE = 0x1C
 FRAME_HANDSHAKE_DONE = 0x1E
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PaddingFrame:
     """A run of PADDING bytes (each is a zero byte on the wire)."""
 
@@ -34,12 +35,12 @@ class PaddingFrame:
             raise ValueError("padding length must be >= 1")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PingFrame:
     pass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckFrame:
     """ACK frame; ``ranges`` are inclusive (low, high) packet-number pairs,
     ordered descending by ``high`` as on the wire.  ``ecn`` is the mirrored
@@ -72,9 +73,14 @@ class AckFrame:
     @classmethod
     def for_packets(cls, pns: Iterable[int], ecn: EcnCounts | None = None) -> "AckFrame":
         """Build an ACK covering exactly ``pns`` (arbitrary order)."""
-        ordered = sorted(set(pns))
+        ordered = sorted(pns) if isinstance(pns, (set, frozenset)) else sorted(set(pns))
         if not ordered:
             raise ValueError("cannot ACK an empty set")
+        # Scan traffic almost always acknowledges one contiguous run, and
+        # the same few (range, counters) shapes recur across every site a
+        # campaign touches — frames are frozen, so they are shared.
+        if ordered[-1] - ordered[0] == len(ordered) - 1:
+            return _contiguous_ack(ordered[0], ordered[-1], ecn)
         ranges: list[tuple[int, int]] = []
         start = prev = ordered[0]
         for pn in ordered[1:]:
@@ -88,13 +94,18 @@ class AckFrame:
         return cls(ranges=tuple(ranges), ecn=ecn)
 
 
-@dataclass(frozen=True)
+@lru_cache(maxsize=4096)
+def _contiguous_ack(low: int, high: int, ecn: EcnCounts | None) -> "AckFrame":
+    return AckFrame(ranges=((low, high),), ecn=ecn)
+
+
+@dataclass(frozen=True, slots=True)
 class CryptoFrame:
     offset: int
     data: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamFrame:
     stream_id: int
     offset: int
@@ -102,14 +113,14 @@ class StreamFrame:
     fin: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConnectionCloseFrame:
     error_code: int
     frame_type: int = 0
     reason: bytes = b""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HandshakeDoneFrame:
     pass
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Union
 
 from repro.quic.frames import Frame, decode_frames, encode_frames
@@ -28,6 +29,11 @@ class PacketType(enum.Enum):
     ONE_RTT = "1rtt"
     VERSION_NEGOTIATION = "vn"
 
+    # Members are singletons and compare by identity, so the identity
+    # hash is consistent — and much cheaper than Enum's name-based hash
+    # in the per-packet dict lookups of the exchange hot loop.
+    __hash__ = object.__hash__
+
 
 class PacketNumberSpace(enum.Enum):
     """The three packet-number spaces; ECN counts are kept per space."""
@@ -35,6 +41,8 @@ class PacketNumberSpace(enum.Enum):
     INITIAL = "initial"
     HANDSHAKE = "handshake"
     APPLICATION = "application"
+
+    __hash__ = object.__hash__  # identity hash: see PacketType
 
 
 SPACE_FOR_TYPE = {
@@ -45,7 +53,7 @@ SPACE_FOR_TYPE = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LongHeaderPacket:
     """Initial / Handshake / 0-RTT packet."""
 
@@ -72,7 +80,7 @@ class LongHeaderPacket:
         return SPACE_FOR_TYPE[self.packet_type]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShortHeaderPacket:
     """1-RTT packet."""
 
@@ -89,7 +97,7 @@ class ShortHeaderPacket:
         return PacketNumberSpace.APPLICATION
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VersionNegotiationPacket:
     """Sent by servers that do not support the client's offered version."""
 
@@ -119,6 +127,25 @@ def _pn_length(pn: int) -> int:
 # Encoding
 # ----------------------------------------------------------------------
 def encode_packet(packet: QuicPacket) -> bytes:
+    """Encode one packet, caching by value.
+
+    Packets are frozen, so equal packets share one encoded byte string —
+    scan clients resend identical Initials and tracebox replays identical
+    probes thousands of times per run.  Falls back to a direct encode for
+    packets whose frames carry unhashable simulation payloads.
+    """
+    try:
+        return _encode_packet_cached(packet)
+    except TypeError:
+        return _encode_packet(packet)
+
+
+@lru_cache(maxsize=2048)
+def _encode_packet_cached(packet: QuicPacket) -> bytes:
+    return _encode_packet(packet)
+
+
+def _encode_packet(packet: QuicPacket) -> bytes:
     if isinstance(packet, VersionNegotiationPacket):
         out = bytearray([HEADER_FORM_LONG])
         out += (0).to_bytes(4, "big")

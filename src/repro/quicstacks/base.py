@@ -24,7 +24,8 @@ deviate when echoing ECN counters:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Callable
 
 from repro.core.codepoints import ECN
@@ -60,6 +61,10 @@ class MirrorQuirk(enum.Enum):
     ALL_CE = "all_ce"
     DECREASING = "decreasing"
 
+    # Members are singletons; identity hash is consistent and avoids
+    # Enum's name-hash in per-packet accounting dict lookups.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class StackBehavior:
@@ -78,26 +83,48 @@ class StackBehavior:
         return replace(self, mirror_quirk=quirk)
 
 
-@dataclass
-class _ConnState:
-    """Per-connection server state (we model one connection per scan)."""
+_SPACES = tuple(PacketNumberSpace)
+_ZERO_COUNTS = EcnCounts()
+_SERVER_SCID = b"\x33" * 8
+_SERVER_HELLO = CryptoFrame(0, b"server-hello")
 
-    received_pns: dict[PacketNumberSpace, set[int]] = field(
-        default_factory=lambda: {space: set() for space in PacketNumberSpace}
+
+class _ConnState:
+    """Per-connection server state (we model one connection per scan).
+
+    A plain slotted class with a hand-rolled ``__init__``: one of these
+    is allocated per scanned site per week, and the dataclass
+    default-factory lambdas it replaced showed up in campaign profiles.
+    """
+
+    __slots__ = (
+        "received_pns",
+        "counts",
+        "marked_arrivals",
+        "ect_arrivals",
+        "total_arrivals",
+        "sent_pns",
+        "handshake_done_sent",
+        "request_buffer",
+        "request_complete",
+        "app_acks_sent",
     )
-    counts: dict[PacketNumberSpace, EcnCounts] = field(
-        default_factory=lambda: {space: EcnCounts() for space in PacketNumberSpace}
-    )
-    marked_arrivals: int = 0  # quirk-internal counter (HALVED skip logic)
-    ect_arrivals: int = 0  # packets that arrived with any ECN codepoint
-    total_arrivals: int = 0
-    sent_pns: dict[PacketNumberSpace, int] = field(
-        default_factory=lambda: {space: 0 for space in PacketNumberSpace}
-    )
-    handshake_done_sent: bool = False
-    request_buffer: bytearray = field(default_factory=bytearray)
-    request_complete: bool = False
-    app_acks_sent: int = 0
+
+    def __init__(self) -> None:
+        self.received_pns: dict[PacketNumberSpace, set[int]] = {
+            space: set() for space in _SPACES
+        }
+        self.counts: dict[PacketNumberSpace, EcnCounts] = dict.fromkeys(
+            _SPACES, _ZERO_COUNTS
+        )
+        self.marked_arrivals = 0  # quirk-internal counter (HALVED skip logic)
+        self.ect_arrivals = 0  # packets that arrived with any ECN codepoint
+        self.total_arrivals = 0
+        self.sent_pns: dict[PacketNumberSpace, int] = dict.fromkeys(_SPACES, 0)
+        self.handshake_done_sent = False
+        self.request_buffer = bytearray()
+        self.request_complete = False
+        self.app_acks_sent = 0
 
 
 class QuicServerStack:
@@ -243,27 +270,23 @@ class QuicServerStack:
             packet_type=PacketType.INITIAL,
             version=version,
             dcid=packet.scid,
-            scid=b"\x33" * 8,
+            scid=_SERVER_SCID,
             packet_number=self._next_pn(PacketNumberSpace.INITIAL),
             frames=(
                 AckFrame.for_packets(
                     conn.received_pns[PacketNumberSpace.INITIAL],
                     ecn=self._ecn_for_ack(PacketNumberSpace.INITIAL),
                 ),
-                CryptoFrame(0, b"server-hello"),
+                _SERVER_HELLO,
             ),
         )
-        from repro.quic.connection import embed_transport_params
-
         handshake = LongHeaderPacket(
             packet_type=PacketType.HANDSHAKE,
             version=version,
             dcid=packet.scid,
-            scid=b"\x33" * 8,
+            scid=_SERVER_SCID,
             packet_number=self._next_pn(PacketNumberSpace.HANDSHAKE),
-            frames=(
-                CryptoFrame(0, embed_transport_params(self.behavior.transport_params)),
-            ),
+            frames=_transport_params_frames(self.behavior.transport_params),
         )
         return [server_initial, handshake]
 
@@ -274,7 +297,7 @@ class QuicServerStack:
                 packet_type=PacketType.HANDSHAKE,
                 version=self.behavior.version,
                 dcid=packet.scid,
-                scid=b"\x33" * 8,
+                scid=_SERVER_SCID,
                 packet_number=self._next_pn(PacketNumberSpace.HANDSHAKE),
                 frames=(
                     AckFrame.for_packets(
@@ -325,14 +348,41 @@ class QuicServerStack:
         ]
 
     def _apply_identity_headers(self, response: HttpResponse) -> HttpResponse:
-        headers = list(response.headers)
-        if self.behavior.server_header is not None and response.server is None:
-            headers.append(("server", self.behavior.server_header))
-        if self.behavior.via_header is not None and response.via is None:
-            headers.append(("via", self.behavior.via_header))
-        return HttpResponse(status=response.status, headers=tuple(headers), body=response.body)
+        return _with_identity_headers(
+            self.behavior.server_header, self.behavior.via_header, response
+        )
 
     def _next_pn(self, space: PacketNumberSpace) -> int:
         pn = self._conn.sent_pns[space]
         self._conn.sent_pns[space] = pn + 1
         return pn
+
+
+# ----------------------------------------------------------------------
+# Week-invariant response construction (memoized across connections)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=256)
+def _transport_params_frames(params) -> tuple[Frame, ...]:
+    """The handshake CRYPTO flight for one parameter set.
+
+    Transport parameters are week-invariant per stack behaviour, so the
+    frame (and the varint-encoded blob inside it) is built once and the
+    frozen tuple shared by every connection the stack answers.
+    """
+    from repro.quic.connection import embed_transport_params
+
+    return (CryptoFrame(0, embed_transport_params(params)),)
+
+
+@lru_cache(maxsize=1024)
+def _with_identity_headers(
+    server_header: str | None, via_header: str | None, response: HttpResponse
+) -> HttpResponse:
+    """Identity headers applied to a base response, memoized by value —
+    sites sharing a stack profile serve value-identical responses."""
+    headers = list(response.headers)
+    if server_header is not None and response.server is None:
+        headers.append(("server", server_header))
+    if via_header is not None and response.via is None:
+        headers.append(("via", via_header))
+    return HttpResponse(status=response.status, headers=tuple(headers), body=response.body)

@@ -47,18 +47,28 @@ class StackRegistry:
 
     def __init__(self) -> None:
         self._factories: dict[str, BehaviorFactory] = {}
+        #: Factories are pure functions of the week, so resolved
+        #: behaviours are memoized — one :class:`StackBehavior` object per
+        #: (profile, week) instead of one per scanned site.  Identity-
+        #: stable results also make behaviour-epoch comparisons cheap.
+        self._resolved: dict[tuple[str, Week], StackBehavior] = {}
 
     def register(self, key: str, factory: BehaviorFactory) -> None:
         if key in self._factories:
             raise ValueError(f"duplicate stack profile: {key}")
         self._factories[key] = factory
+        self._resolved.clear()
 
     def behavior(self, key: str, week: Week) -> StackBehavior:
-        try:
-            factory = self._factories[key]
-        except KeyError:
-            raise KeyError(f"unknown stack profile: {key}") from None
-        return factory(week)
+        cache_key = (key, week)
+        resolved = self._resolved.get(cache_key)
+        if resolved is None:
+            try:
+                factory = self._factories[key]
+            except KeyError:
+                raise KeyError(f"unknown stack profile: {key}") from None
+            resolved = self._resolved[cache_key] = factory(week)
+        return resolved
 
     def keys(self) -> list[str]:
         return sorted(self._factories)

@@ -9,12 +9,15 @@ The scan issues a single HTTPS GET to the ``www`` name, never follows
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.codepoints import ECN
 from repro.core.validation import ValidationConfig
 from repro.http.messages import HttpRequest
+from repro.netsim.clock import Clock
 from repro.quic.connection import QuicClient, QuicClientConfig, QuicConnectionResult
 from repro.scanner.wire import ScanWire
+from repro.util.rng import RngStream
 from repro.util.weeks import Week
 from repro.web.world import Site, World
 
@@ -49,6 +52,22 @@ class QuicScanConfig:
         )
 
 
+@lru_cache(maxsize=128)
+def _client_config(config: QuicScanConfig, source_ip: str) -> QuicClientConfig:
+    """Week- and site-invariant client config per (scan config, vantage).
+
+    Both inputs are frozen, so one immutable config object (and its
+    embedded :class:`ValidationConfig`) is shared by every exchange a
+    campaign issues instead of being rebuilt per site per week.
+    """
+    return QuicClientConfig(
+        validation=config.validation(),
+        source_ip=source_ip,
+        ip_version=config.ip_version,
+        request_packets=config.effective_request_packets(),
+    )
+
+
 def scan_site_quic(
     world: World,
     site: Site,
@@ -57,11 +76,15 @@ def scan_site_quic(
     config: QuicScanConfig | None = None,
     *,
     authority: str | None = None,
+    rng: RngStream | None = None,
+    clock: Clock | None = None,
 ) -> QuicConnectionResult:
     """Run the QUIC ECN scan against one site.
 
     Returns a (possibly failed) :class:`QuicConnectionResult`; an
     unreachable or QUIC-less site yields ``connected=False``.
+    ``rng``/``clock`` override the world's shared network stream and
+    virtual clock — the sharded engine passes per-site substreams here.
     """
     config = config or QuicScanConfig()
     vantage = world.vantages[vantage_id]
@@ -74,18 +97,12 @@ def scan_site_quic(
     if server is None:
         result = QuicConnectionResult(error="no QUIC listener")
         # The client still burns its timeout budget against dead targets.
-        world.clock.advance(DEAD_TARGET_TIMEOUT)
+        (clock if clock is not None else world.clock).advance(DEAD_TARGET_TIMEOUT)
         return result
     route_key = site.route_key + ("/v6" if config.ip_version == 6 else "")
-    wire = ScanWire(world, vantage_id, route_key, server.handle_datagram, week)
-    client = QuicClient(
-        wire,
-        QuicClientConfig(
-            validation=config.validation(),
-            source_ip=vantage.source_ip,
-            ip_version=config.ip_version,
-            request_packets=config.effective_request_packets(),
-        ),
+    wire = ScanWire(
+        world, vantage_id, route_key, server.handle_datagram, week, rng=rng, clock=clock
     )
+    client = QuicClient(wire, _client_config(config, vantage.source_ip))
     request = HttpRequest(authority=authority or f"www.{site.route_key.split('/')[0]}.example")
     return client.fetch(target_ip, request)

@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.codepoints import ECN
 from repro.http.messages import HttpRequest
+from repro.netsim.clock import Clock
 from repro.scanner.quic_scan import DEAD_TARGET_TIMEOUT
 from repro.scanner.wire import ScanWire
 from repro.tcp.client import TcpClientConfig, TcpScanClient, TcpScanOutcome
+from repro.util.rng import RngStream
 from repro.util.weeks import Week
 from repro.web.world import Site, World
 
@@ -21,6 +24,16 @@ class TcpScanConfig:
     ip_version: int = 4
 
 
+@lru_cache(maxsize=128)
+def _client_config(config: TcpScanConfig, source_ip: str) -> TcpClientConfig:
+    """Invariant client config per (scan config, vantage); see quic_scan."""
+    return TcpClientConfig(
+        probe_codepoint=config.probe_codepoint,
+        source_ip=source_ip,
+        ip_version=config.ip_version,
+    )
+
+
 def scan_site_tcp(
     world: World,
     site: Site,
@@ -29,8 +42,14 @@ def scan_site_tcp(
     config: TcpScanConfig | None = None,
     *,
     authority: str | None = None,
+    rng: RngStream | None = None,
+    clock: Clock | None = None,
 ) -> TcpScanOutcome:
-    """Run the TCP ECN scan against one site."""
+    """Run the TCP ECN scan against one site.
+
+    ``rng``/``clock`` override the shared network stream and clock for
+    sharded execution, exactly as in :func:`scan_site_quic`.
+    """
     config = config or TcpScanConfig()
     vantage = world.vantages[vantage_id]
     target_ip = site.ip if config.ip_version == 4 else site.ipv6
@@ -38,17 +57,12 @@ def scan_site_tcp(
         return TcpScanOutcome(error="no address for this family")
     server = world.tcp_server(site, week, vantage_id)
     if server is None:
-        world.clock.advance(DEAD_TARGET_TIMEOUT)
+        (clock if clock is not None else world.clock).advance(DEAD_TARGET_TIMEOUT)
         return TcpScanOutcome(error="connection timeout")
     route_key = site.route_key + ("/v6" if config.ip_version == 6 else "")
-    wire = ScanWire(world, vantage_id, route_key, server.handle_segment, week)
-    client = TcpScanClient(
-        wire,
-        TcpClientConfig(
-            probe_codepoint=config.probe_codepoint,
-            source_ip=vantage.source_ip,
-            ip_version=config.ip_version,
-        ),
+    wire = ScanWire(
+        world, vantage_id, route_key, server.handle_segment, week, rng=rng, clock=clock
     )
+    client = TcpScanClient(wire, _client_config(config, vantage.source_ip))
     request = HttpRequest(authority=authority or f"www.{site.route_key.split('/')[0]}.example")
     return client.fetch(target_ip, request)

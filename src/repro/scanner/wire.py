@@ -4,13 +4,25 @@ Forward packets traverse the registered route (where impairing routers
 live); responses are delivered directly — the reverse path is invisible
 to all of the paper's measurements (§6.1), so simulating transforms
 there would only slow things down without observable effect.
+
+Two hot-path properties are exploited here:
+
+* One scan connection keeps one 5-tuple, so the ECMP variant the flow
+  hashes onto is resolved once on the first packet and every later
+  packet traverses the cached :class:`~repro.netsim.path.NetworkPath`
+  directly, skipping the route-epoch and flow-hash lookups.
+* The RNG that drives loss/marking draws and the virtual clock are
+  injectable, which is what lets the sharded scan engine give each
+  site an independent deterministic substream (docs/architecture.md).
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.netsim.clock import Clock
 from repro.netsim.packet import IpPacket
+from repro.util.rng import RngStream
 from repro.util.weeks import Week
 from repro.web.world import World
 
@@ -28,6 +40,8 @@ class ScanWire:
         *,
         rtt: float = 0.03,
         timeout: float = 1.0,
+        rng: RngStream | None = None,
+        clock: Clock | None = None,
     ):
         self.world = world
         self.vantage_id = vantage_id
@@ -38,15 +52,24 @@ class ScanWire:
         self.timeout = timeout
         self.forward_packets = 0
         self.lost_packets = 0
+        self.rng = rng if rng is not None else world.network.rng
+        self.clock = clock if clock is not None else world.clock
+        self._path = None  # resolved lazily from the first packet's 5-tuple
 
     def exchange(self, packet: IpPacket) -> list[IpPacket]:
         """Send one packet; returns the host's responses (possibly none)."""
         self.forward_packets += 1
-        result = self.world.network.send(self.vantage_id, self.route_key, packet, self.week)
+        path = self._path
+        if path is None:
+            template = self.world.network.template_for(
+                self.vantage_id, self.route_key, self.week
+            )
+            path = self._path = template.select(packet.flow_key)
+        result = path.traverse(packet, self.clock, self.rng)
         if result.delivered is None:
             # Loss or TTL expiry: the client waits out its timer.
             self.lost_packets += 1
-            self.world.clock.advance(self.timeout)
+            self.clock.advance(self.timeout)
             return []
-        self.world.clock.advance(self.rtt)
+        self.clock.advance(self.rtt)
         return self.handler(result.delivered)

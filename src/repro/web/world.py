@@ -133,6 +133,7 @@ class World:
         self._sites_by_ip: dict[str, Site] = {}
         self._overrides: dict[tuple[str, str, str], list[VantageOverrideSpec]] = {}
         self._policy_cache: dict[tuple[int, str], SitePolicy] = {}
+        self._response_cache: dict[bool, HttpResponse] = {}
         self._scan_engine = None
         for override in overrides:
             key = (override.vantage_id, override.provider, override.group_key)
@@ -249,13 +250,19 @@ class World:
     # Server construction
     # ------------------------------------------------------------------
     def make_response_factory(self, site: Site):
-        alt_svc = 'h3=":443"; ma=86400' if site.group.quic_profile else None
-        headers = [("content-type", "text/html")]
-        if alt_svc:
-            headers.append(("alt-svc", alt_svc))
-        response = HttpResponse(
-            status=200, headers=tuple(headers), body=b"<html>ok</html>"
-        )
+        # The body depends only on whether the site's group serves QUIC
+        # (the alt-svc header), so the two possible responses are built
+        # once per world and shared — responses are frozen value objects.
+        advertises_h3 = site.group.quic_profile is not None
+        response = self._response_cache.get(advertises_h3)
+        if response is None:
+            headers = [("content-type", "text/html")]
+            if advertises_h3:
+                headers.append(("alt-svc", 'h3=":443"; ma=86400'))
+            response = HttpResponse(
+                status=200, headers=tuple(headers), body=b"<html>ok</html>"
+            )
+            self._response_cache[advertises_h3] = response
         return lambda _raw: response
 
     def quic_server(

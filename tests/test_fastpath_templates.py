@@ -1,0 +1,158 @@
+"""Fast-path template reuse: shared objects must never leak state.
+
+The exchange fast path shares frozen objects across connections and
+sites: the client's Initial packet template, the server's transport-
+parameter CRYPTO flight, identity-header-applied responses, and cached
+contiguous ACK frames.  These tests pin the safety contract — reuse is
+only sound because every shared object is immutable and every mutation
+in the packet path happens on per-hop :class:`IpPacket` clones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro.core.codepoints import ECN
+from repro.http.messages import HttpResponse
+from repro.quic.connection import _initial_packet
+from repro.quic.frames import AckFrame, CryptoFrame
+from repro.quic.packets import LongHeaderPacket, ShortHeaderPacket, encode_packet
+from repro.quic.versions import QuicVersion
+from repro.quicstacks.base import _transport_params_frames, _with_identity_headers
+from repro.quic.transport_params import GENERIC_PARAMS, LITESPEED_PARAMS
+from repro.scanner.quic_scan import scan_site_quic
+from repro.web.spec import WorldConfig
+
+DCID = b"\x11" * 8
+SCID = b"\x22" * 8
+
+
+# ----------------------------------------------------------------------
+# Shared template objects are singletons and immutable
+# ----------------------------------------------------------------------
+def test_initial_template_is_shared_and_frozen():
+    first = _initial_packet(QuicVersion.V1, DCID, SCID, 0)
+    second = _initial_packet(QuicVersion.V1, DCID, SCID, 0)
+    assert first is second  # one object serves every connection
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        first.packet_number = 99
+    # Distinct keys stay distinct.
+    assert _initial_packet(QuicVersion.V1, DCID, SCID, 1) is not first
+    assert _initial_packet(QuicVersion.DRAFT_29, DCID, SCID, 0) is not first
+
+
+def test_transport_param_flight_is_shared_per_parameter_set():
+    a = _transport_params_frames(GENERIC_PARAMS)
+    b = _transport_params_frames(GENERIC_PARAMS)
+    assert a is b
+    assert isinstance(a, tuple) and isinstance(a[0], CryptoFrame)
+    assert _transport_params_frames(LITESPEED_PARAMS) is not a
+
+
+def test_identity_header_application_is_memoized_by_value():
+    base = HttpResponse(status=200, headers=(("content-type", "text/html"),))
+    a = _with_identity_headers("LiteSpeed", None, base)
+    b = _with_identity_headers("LiteSpeed", None, base)
+    assert a is b
+    assert a.server == "LiteSpeed"
+    assert base.server is None  # input untouched
+    c = _with_identity_headers("Pepyaka", "1.1 google", base)
+    assert c.server == "Pepyaka" and c.via == "1.1 google"
+
+
+def test_contiguous_ack_frames_are_shared_and_correct():
+    a = AckFrame.for_packets({0, 1, 2})
+    b = AckFrame.for_packets([2, 0, 1])
+    assert a is b
+    assert a.ranges == ((0, 2),)
+    gapped = AckFrame.for_packets({0, 1, 5})
+    assert gapped.ranges == ((5, 5), (0, 1))
+
+
+def test_encode_packet_cache_returns_equal_bytes_for_equal_packets():
+    packet = ShortHeaderPacket(dcid=DCID, packet_number=3, frames=(AckFrame.for_packets({0}),))
+    clone = ShortHeaderPacket(dcid=DCID, packet_number=3, frames=(AckFrame.for_packets({0}),))
+    assert encode_packet(packet) == encode_packet(clone)
+    other = ShortHeaderPacket(dcid=DCID, packet_number=4, frames=(AckFrame.for_packets({0}),))
+    assert encode_packet(other) != encode_packet(packet)
+
+
+# ----------------------------------------------------------------------
+# Template reuse must not leak state across scanned sites
+# ----------------------------------------------------------------------
+def _scan_pair(world, sites, week):
+    return [
+        scan_site_quic(world, site, week, authority=f"www.site{i}.example")
+        for i, site in enumerate(sites)
+    ]
+
+
+def test_template_reuse_does_not_leak_state_across_sites():
+    """Scanning site A before site B leaves B's result identical to
+    scanning B alone in a fresh world — and the shared Initial template
+    is byte-identical before and after traversing impairing paths."""
+    config = WorldConfig(scale=6_000)
+    week = repro.build_world(config).config.reference_week
+
+    template = _initial_packet(QuicVersion.V1, DCID, SCID, 0)
+    frames_before = template.frames
+    encoded_before = encode_packet(template)
+
+    world_ab = repro.build_world(config)
+    # Pick sites on deliberately different routes/stacks: first and last
+    # QUIC-capable sites attribute to different providers.
+    capable = [
+        s
+        for s in world_ab.sites
+        if world_ab.site_policy(s, "main-aachen").quic_profile is not None
+    ]
+    site_a, site_b = capable[0], capable[-1]
+    assert site_a.provider.name != site_b.provider.name
+    result_ab = _scan_pair(world_ab, [site_a, site_b], week)
+
+    world_b = repro.build_world(config)
+    # Re-resolve the same sites in the fresh world and burn site A's RNG
+    # draws from the shared stream so B sees the same stream state.
+    fresh_a, fresh_b = world_b.sites[site_a.index], world_b.sites[site_b.index]
+    result_a_alone = scan_site_quic(world_b, fresh_a, week, authority="www.site0.example")
+    result_b_after = scan_site_quic(world_b, fresh_b, week, authority="www.site1.example")
+
+    assert result_ab[0] == result_a_alone
+    assert result_ab[1] == result_b_after
+
+    # The shared template survived both campaigns bit-for-bit.
+    assert template.frames is frames_before
+    assert encode_packet(template) == encoded_before
+    assert _initial_packet(QuicVersion.V1, DCID, SCID, 0) is template
+
+
+def test_impairing_path_mutates_only_per_hop_clones():
+    """An ECN-rewriting route must not write through to the shared QUIC
+    packet objects inside the IP payload."""
+    from repro.netsim.hops import EcnAction, Router
+    from repro.netsim.packet import IpPacket, UdpPayload
+    from repro.netsim.path import NetworkPath
+    from repro.netsim.clock import Clock
+    from repro.util.rng import RngStream
+
+    template = _initial_packet(QuicVersion.V1, DCID, SCID, 0)
+    path = NetworkPath(
+        hops=[
+            Router(name="bleach", asn=1299, address="192.0.2.250", ecn_action=EcnAction.BLEACH_TOS),
+            Router(name="ce", asn=1299, address="192.0.2.251", ecn_action=EcnAction.CE_MARK_ALL),
+        ]
+    )
+    packet = IpPacket(
+        version=4, src="192.0.2.1", dst="192.0.2.9", ttl=64, tos=int(ECN.ECT0),
+        payload=UdpPayload(50_000, 443, template),
+    )
+    result = path.traverse(packet, Clock(), RngStream(0, "leak-test"))
+    assert result.delivered is not None
+    assert result.delivered.ecn is ECN.CE  # path rewrote the clone
+    assert packet.ecn is ECN.ECT0  # original IP header untouched
+    assert result.delivered.payload.data is template  # payload shared ...
+    assert isinstance(template, LongHeaderPacket)
+    assert template.packet_number == 0  # ... and still pristine
