@@ -1,4 +1,13 @@
-"""Provider (AS organization) aggregation and ranking helpers."""
+"""Provider (AS organization) aggregation and ranking helpers.
+
+Every aggregation here accepts either plain observation lists or a
+store-backed :class:`~repro.store.views.StoreObservations` slice; the
+latter takes a column-native fast path (site-result flags computed once
+per site row, then array-indexed per domain) that is pinned equal to
+the object path by ``tests/test_store_golden.py``.  Iteration order is
+ascending position order in both paths, so insertion-ordered outputs
+(Counters, first-seen dicts) are identical.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.scanner.results import DomainObservation
+from repro.store.views import store_slice
 
 
 @dataclass(frozen=True)
@@ -25,7 +35,16 @@ def count_by_org(
     predicate: Callable[[DomainObservation], bool] | None = None,
 ) -> Counter:
     """Count observations per org, optionally filtered."""
-    counter: Counter = Counter()
+    if predicate is None:
+        sliced = store_slice(observations)
+        if sliced is not None:
+            store, positions = sliced
+            orgs = store.columns.orgs
+            counter: Counter = Counter()
+            for position in positions:
+                counter[orgs[position]] += 1
+            return counter
+    counter = Counter()
     for obs in observations:
         if predicate is None or predicate(obs):
             counter[obs.org] += 1
@@ -37,14 +56,34 @@ def org_ecn_counts(observations: Iterable[DomainObservation]) -> list[OrgCounts]
     totals: Counter = Counter()
     mirroring: Counter = Counter()
     use: Counter = Counter()
-    for obs in observations:
-        if not obs.quic_available:
-            continue
-        totals[obs.org] += 1
-        if obs.mirroring:
-            mirroring[obs.org] += 1
-        if obs.uses_ecn:
-            use[obs.org] += 1
+    sliced = store_slice(observations)
+    if sliced is not None:
+        store, positions = sliced
+        orgs = store.columns.orgs
+        quic_row = store.quic_row
+        flags = store.quic_flag_rows()
+        for position in positions:
+            row = quic_row[position]
+            if row < 0:
+                continue
+            available, mirrors, uses = flags[row]
+            if not available:
+                continue
+            org = orgs[position]
+            totals[org] += 1
+            if mirrors:
+                mirroring[org] += 1
+            if uses:
+                use[org] += 1
+    else:
+        for obs in observations:
+            if not obs.quic_available:
+                continue
+            totals[obs.org] += 1
+            if obs.mirroring:
+                mirroring[obs.org] += 1
+            if obs.uses_ecn:
+                use[obs.org] += 1
     return [
         OrgCounts(org=org, total=totals[org], mirroring=mirroring[org], use=use[org])
         for org in totals
@@ -66,6 +105,15 @@ def distinct_ips(
     predicate: Callable[[DomainObservation], bool] | None = None,
 ) -> set[str]:
     """The set of server IPs behind the (filtered) observations."""
+    if predicate is None:
+        sliced = store_slice(observations)
+        if sliced is not None:
+            store, positions = sliced
+            column = store.columns.ips
+            return {
+                ip for ip in (column[position] for position in positions)
+                if ip is not None
+            }
     ips: set[str] = set()
     for obs in observations:
         if obs.ip is None:

@@ -32,14 +32,24 @@ _OUTCOME_TO_CLASS = {
 }
 
 
-def validation_class(obs: DomainObservation) -> ValidationClass:
-    """Map one observation to its validation class."""
-    if obs.quic is None or not obs.quic.connected:
+def validation_class_of(quic) -> ValidationClass:
+    """Validation class of one :class:`QuicConnectionResult` (or None).
+
+    The column-native entry point: store-backed analysis classifies
+    each site *result row* once and fans the class out by index,
+    instead of re-deriving it per domain.
+    """
+    if quic is None or not quic.connected:
         return ValidationClass.UNAVAILABLE
-    outcome = obs.quic.validation_outcome
+    outcome = quic.validation_outcome
     if outcome in _OUTCOME_TO_CLASS:
         return _OUTCOME_TO_CLASS[outcome]
     return ValidationClass.NO_MIRRORING  # PENDING should not escape finish()
+
+
+def validation_class(obs: DomainObservation) -> ValidationClass:
+    """Map one observation to its validation class."""
+    return validation_class_of(obs.quic)
 
 
 def tcp_group(obs: DomainObservation) -> str | None:

@@ -9,6 +9,8 @@ from repro.analysis.classify import quic_group, support_group, tcp_group
 from repro.pipeline.campaign import Campaign
 from repro.pipeline.runs import WeeklyRun
 from repro.pipeline.vantage import VantageRun
+from repro.scanner.results import server_label_of
+from repro.store.views import store_slice
 from repro.util.weeks import Week
 from repro.web.world import World
 
@@ -33,12 +35,38 @@ def figure3(campaign: Campaign) -> list[Figure3Point]:
     for run in campaign.runs:
         by_server: Counter = Counter()
         total = 0
-        for obs in run.observations_for("cno"):
-            if not obs.quic_available:
-                continue
-            total += 1
-            if obs.mirroring:
-                by_server[obs.server_label] += 1
+        observations = run.observations_for("cno")
+        sliced = store_slice(observations)
+        if sliced is not None:
+            store, positions = sliced
+            quic_row = store.quic_row
+            # Per site row: (available, mirroring, server label) — the
+            # per-domain loop below is then pure index arithmetic.
+            row_info = [
+                (
+                    result is not None and result.connected,
+                    result is not None and result.mirroring,
+                    server_label_of(result),
+                )
+                for result in store.quic_results
+            ]
+            for position in positions:
+                row = quic_row[position]
+                if row < 0:
+                    continue
+                available, mirrors, label = row_info[row]
+                if not available:
+                    continue
+                total += 1
+                if mirrors:
+                    by_server[label] += 1
+        else:
+            for obs in observations:
+                if not obs.quic_available:
+                    continue
+                total += 1
+                if obs.mirroring:
+                    by_server[obs.server_label] += 1
         points.append(
             Figure3Point(
                 week=run.week,
@@ -61,11 +89,18 @@ class TransitionData:
     flows: tuple[dict[tuple[str, str], int], ...]  # len == len(snapshots)-1
 
 
-def _domain_state(obs) -> str:
-    if not obs.quic_available:
+def _domain_state_of(result) -> str:
+    """Figure 4/8 state label of one QUIC result (shared by both the
+    per-observation path and the store's per-row fan-out)."""
+    if result is None or not result.connected:
         return "Unavailable"
-    label = "Mirroring" if obs.mirroring else "No Mirroring"
-    return f"{label} ({obs.version_label})"
+    label = "Mirroring" if result.mirroring else "No Mirroring"
+    version_label = result.version.label if result.version is not None else None
+    return f"{label} ({version_label})"
+
+
+def _domain_state(obs) -> str:
+    return _domain_state_of(obs.quic)
 
 
 def figure4(
@@ -89,8 +124,21 @@ def figure4(
         lambda: ["Unavailable"] * len(runs)
     )
     for index, run in enumerate(runs):
-        for obs in run.observations_for("cno"):
-            states_by_domain[obs.domain][index] = _domain_state(obs)
+        observations = run.observations_for("cno")
+        sliced = store_slice(observations)
+        if sliced is not None:
+            store, positions = sliced
+            domains = store.columns.domains
+            quic_row = store.quic_row
+            row_state = [_domain_state_of(result) for result in store.quic_results]
+            for position in positions:
+                row = quic_row[position]
+                states_by_domain[domains[position]][index] = (
+                    row_state[row] if row >= 0 else "Unavailable"
+                )
+        else:
+            for obs in observations:
+                states_by_domain[obs.domain][index] = _domain_state(obs)
     if require_ecn_touch:
         states_by_domain = {
             name: states

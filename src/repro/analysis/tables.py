@@ -6,8 +6,9 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 
 from repro.analysis.aggregate import distinct_ips, org_ecn_counts, rank_map
-from repro.analysis.classify import ValidationClass, validation_class
+from repro.analysis.classify import ValidationClass, validation_class, validation_class_of
 from repro.pipeline.runs import WeeklyRun
+from repro.store.views import store_slice
 from repro.tracebox.classify import PathImpairment
 from repro.core.codepoints import ECN
 from repro.web.paths import AS_ARELION
@@ -35,11 +36,70 @@ class Table1Row:
         return 100.0 * self.use / self.quic if self.quic else 0.0
 
 
+def _table1_rows_columnar(scope: str, store, positions) -> list[Table1Row]:
+    """Both Table 1 rows of one population in a single column pass."""
+    ips_column = store.columns.ips
+    resolved_column = store.columns.resolved
+    quic_row = store.quic_row
+    flags = store.quic_flag_rows()
+    resolved = quic = mirroring = use = 0
+    resolved_ips: set[str] = set()
+    quic_ips: set[str] = set()
+    mirroring_ips: set[str] = set()
+    use_ips: set[str] = set()
+    for position in positions:
+        if resolved_column[position]:
+            resolved += 1
+        ip = ips_column[position]
+        if ip is not None:
+            resolved_ips.add(ip)
+        row = quic_row[position]
+        if row < 0:
+            continue
+        available, mirrors, uses = flags[row]
+        if available:
+            quic += 1
+            if ip is not None:
+                quic_ips.add(ip)
+        if mirrors:
+            mirroring += 1
+            if ip is not None:
+                mirroring_ips.add(ip)
+        if uses:
+            use += 1
+            if ip is not None:
+                use_ips.add(ip)
+    return [
+        Table1Row(
+            scope=scope,
+            unit="Domains",
+            total=len(positions),
+            resolved=resolved,
+            quic=quic,
+            mirroring=mirroring,
+            use=use,
+        ),
+        Table1Row(
+            scope=scope,
+            unit="IPs",
+            total=0,  # the paper leaves this cell empty
+            resolved=len(resolved_ips),
+            quic=len(quic_ips),
+            mirroring=len(mirroring_ips),
+            use=len(use_ips),
+        ),
+    ]
+
+
 def table1(run: WeeklyRun) -> list[Table1Row]:
     """Visible ECN mirroring/use for toplist and com/net/org domains."""
     rows: list[Table1Row] = []
     for population, scope in (("toplist", "Toplists"), ("cno", "c/n/o")):
         obs = run.observations_for(population)
+        sliced = store_slice(obs)
+        if sliced is not None:
+            rows.extend(_table1_rows_columnar(scope, *sliced))
+            continue
         rows.append(
             Table1Row(
                 scope=scope,
@@ -211,13 +271,38 @@ class ValidationCell:
 def _validation_counts(run: WeeklyRun) -> dict[ValidationClass, ValidationCell]:
     domains: Counter = Counter()
     ips: dict[ValidationClass, set[str]] = defaultdict(set)
-    for obs in run.observations_for("cno"):
-        if not obs.quic_available:
-            continue
-        cls = validation_class(obs)
-        domains[cls] += 1
-        if obs.ip is not None:
-            ips[cls].add(obs.ip)
+    observations = run.observations_for("cno")
+    sliced = store_slice(observations)
+    if sliced is not None:
+        store, positions = sliced
+        ips_column = store.columns.ips
+        quic_row = store.quic_row
+        # One classification per site result row, fanned out by index.
+        row_class = [
+            None
+            if result is None or not result.connected
+            else validation_class_of(result)
+            for result in store.quic_results
+        ]
+        for position in positions:
+            row = quic_row[position]
+            if row < 0:
+                continue
+            cls = row_class[row]
+            if cls is None:
+                continue
+            domains[cls] += 1
+            ip = ips_column[position]
+            if ip is not None:
+                ips[cls].add(ip)
+    else:
+        for obs in observations:
+            if not obs.quic_available:
+                continue
+            cls = validation_class(obs)
+            domains[cls] += 1
+            if obs.ip is not None:
+                ips[cls].add(obs.ip)
     return {
         cls: ValidationCell(ips=len(ips[cls]), domains=domains[cls])
         for cls in domains
@@ -258,12 +343,32 @@ def table6(
 ) -> dict[ValidationClass, list[tuple[str, int]]]:
     """Per-class provider rankings (descending domain counts)."""
     per_class: dict[ValidationClass, Counter] = {cls: Counter() for cls in classes}
-    for obs in run.observations_for("cno"):
-        if not obs.quic_available:
-            continue
-        cls = validation_class(obs)
-        if cls in per_class:
-            per_class[cls][obs.org] += 1
+    observations = run.observations_for("cno")
+    sliced = store_slice(observations)
+    if sliced is not None:
+        store, positions = sliced
+        orgs = store.columns.orgs
+        quic_row = store.quic_row
+        row_class = [
+            None
+            if result is None or not result.connected
+            else validation_class_of(result)
+            for result in store.quic_results
+        ]
+        for position in positions:
+            row = quic_row[position]
+            if row < 0:
+                continue
+            cls = row_class[row]
+            if cls is not None and cls in per_class:
+                per_class[cls][orgs[position]] += 1
+    else:
+        for obs in observations:
+            if not obs.quic_available:
+                continue
+            cls = validation_class(obs)
+            if cls in per_class:
+                per_class[cls][obs.org] += 1
     return {
         cls: sorted(counter.items(), key=lambda item: (-item[1], item[0]))
         for cls, counter in per_class.items()
@@ -337,10 +442,25 @@ def parking_summary(run: WeeklyRun) -> ParkingSummary:
     """Share of QUIC com/net/org domains related to domain parking."""
     quic = 0
     parked = 0
-    for obs in run.observations_for("cno"):
-        if not obs.quic_available:
-            continue
-        quic += 1
-        if obs.parked:
-            parked += 1
+    observations = run.observations_for("cno")
+    sliced = store_slice(observations)
+    if sliced is not None:
+        store, positions = sliced
+        parked_column = store.columns.parked
+        quic_row = store.quic_row
+        flags = store.quic_flag_rows()
+        for position in positions:
+            row = quic_row[position]
+            if row < 0 or not flags[row][0]:
+                continue
+            quic += 1
+            if parked_column[position]:
+                parked += 1
+    else:
+        for obs in observations:
+            if not obs.quic_available:
+                continue
+            quic += 1
+            if obs.parked:
+                parked += 1
     return ParkingSummary(quic_domains=quic, parked_quic_domains=parked)

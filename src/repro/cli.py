@@ -48,11 +48,17 @@ def _parse_week(text: str) -> Week:
 def _cmd_scan(args) -> int:
     world = _build_world(args)
     week = _parse_week(args.week) if args.week else world.config.reference_week
-    run = repro.run_weekly_scan(world, week, run_tracebox=not args.no_tracebox)
+    run = repro.run_weekly_scan(
+        world, week, run_tracebox=not args.no_tracebox, backend=args.backend
+    )
     ipv6 = None
     if args.ipv6:
         ipv6 = repro.run_weekly_scan(
-            world, world.config.ipv6_week, ip_version=6, populations=("cno",)
+            world,
+            world.config.ipv6_week,
+            ip_version=6,
+            populations=("cno",),
+            backend=args.backend,
         )
     print(reference_report(run, ipv6))
     return 0
@@ -68,6 +74,7 @@ def _cmd_campaign(args) -> int:
         cadence_weeks=args.cadence,
         shards=args.shards,
         shard_executor=args.shard_executor,
+        backend=args.backend,
     )
     print(longitudinal_report(campaign))
     return 0
@@ -150,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--week", help="ISO week like 2023-W15")
     scan.add_argument("--ipv6", action="store_true", help="add the IPv6 run")
     scan.add_argument("--no-tracebox", action="store_true")
+    scan.add_argument(
+        "--backend",
+        choices=("objects", "store"),
+        default="objects",
+        help="results layer for the run (golden-identical either way; "
+             "single scans default to eager observation objects)",
+    )
     scan.set_defaults(func=_cmd_scan)
 
     campaign = sub.add_parser("campaign", help="longitudinal Figures 3/4/8")
@@ -168,6 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("inline", "process"),
         default="inline",
         help="how shards execute: in-process or a fork pool",
+    )
+    campaign.add_argument(
+        "--backend",
+        choices=("store", "objects"),
+        default="store",
+        help="results layer: the columnar campaign store (default; "
+             "golden-identical, far cheaper attribution) or eager "
+             "per-domain observation objects",
     )
     campaign.set_defaults(func=_cmd_campaign)
 

@@ -1,7 +1,7 @@
 """Measurement pipeline: weekly scans, campaigns, distributed vantages."""
 
 from repro.pipeline.campaign import Campaign, run_campaign
-from repro.pipeline.engine import ScanEngine, SiteResultCache
+from repro.pipeline.engine import ScanEngine, ScanPhaseStats, SiteResultCache
 from repro.pipeline.runs import WeeklyRun, run_weekly_scan, run_weekly_scan_reference
 from repro.pipeline.sharding import ShardedScanEngine
 from repro.pipeline.toplists import merged_toplist_domains
@@ -11,6 +11,7 @@ __all__ = [
     "Campaign",
     "run_campaign",
     "ScanEngine",
+    "ScanPhaseStats",
     "ShardedScanEngine",
     "SiteResultCache",
     "WeeklyRun",

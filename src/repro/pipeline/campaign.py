@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.pipeline.runs import WeeklyRun
 from repro.util.weeks import Week
 from repro.web.world import World
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.engine import ScanPhaseStats
 
 
 @dataclass
@@ -72,6 +76,8 @@ def run_campaign(
     reuse_site_results: bool = False,
     shards: int | None = None,
     shard_executor: str = "inline",
+    backend: str = "store",
+    phase_stats: "ScanPhaseStats | None" = None,
 ) -> Campaign:
     """Scan the world repeatedly over the measurement period.
 
@@ -90,6 +96,13 @@ def run_campaign(
     than the shared reference stream — reproducible and shard-count
     independent, but a different realisation of the stochastic draws
     (docs/architecture.md#sharded-site-phase).
+
+    ``backend="store"`` (the default) records runs into the columnar
+    :mod:`repro.store` — field-identical observations, a fraction of
+    the attribution cost at campaign scale; ``backend="objects"`` keeps
+    the eager per-domain materialisation.  ``phase_stats`` (a
+    :class:`~repro.pipeline.engine.ScanPhaseStats`) accumulates the
+    site-phase / attribution wall-time split across the series.
     """
     if weeks is None:
         weeks = []
@@ -118,6 +131,8 @@ def run_campaign(
             populations=populations,
             run_tracebox=run_tracebox,
             reuse_site_results=reuse_site_results,
+            backend=backend,
+            phase_stats=phase_stats,
         ):
             campaign.add_run(run)
     finally:

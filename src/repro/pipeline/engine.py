@@ -42,6 +42,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import starmap
+from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
 from repro.netsim.clock import Clock
@@ -99,6 +100,26 @@ class ScanPlan:
     protos: list[tuple]
     #: Site plans ordered by first attributed observation position.
     sites: list[SitePlan]
+    #: Week-invariant columnar layout (lazily built by
+    #: :func:`repro.store.columns.plan_columns`; cached here so every
+    #: store-backed run of a campaign shares one column set).
+    columns: "object | None" = None
+
+
+@dataclass
+class ScanPhaseStats:
+    """Accumulated wall-time split of weekly runs (pass to ``run_week``).
+
+    ``site_phase_seconds`` covers the per-site exchanges,
+    ``attribution_seconds`` the per-domain materialisation/fan-out
+    (object path) or the O(sites) store recording (store path).
+    ``analysis_seconds`` is filled by callers that time an analysis
+    pass over the finished runs — the engine never runs analysis.
+    """
+
+    site_phase_seconds: float = 0.0
+    attribution_seconds: float = 0.0
+    analysis_seconds: float = 0.0
 
 
 @dataclass
@@ -498,23 +519,43 @@ class ScanEngine:
         run_tracebox: bool = False,
         reuse: SiteResultCache | None = None,
         site_rng: str = "shared",
+        backend: str = "objects",
+        phase_stats: ScanPhaseStats | None = None,
     ) -> WeeklyRun:
         """One weekly run, equal field-for-field to the reference loop.
 
         ``site_rng="per-site"`` switches the site phase to independent
         per-event RNG substreams (see the module docstring) — the mode
         the sharded engine golden-tests against.
+
+        ``backend`` picks the results layer: ``"objects"`` materialises
+        one :class:`DomainObservation` per domain (the defining
+        semantics); ``"store"`` records the run into a columnar
+        :class:`~repro.store.columns.ObservationStore` — attribution
+        becomes O(sites) recording plus lazy index arrays, and
+        observations are served as field-identical lazy views
+        (golden-tested equal in ``tests/test_store_golden.py``).
+        Campaigns default to the store backend.
         """
+        if backend not in ("objects", "store"):
+            raise ValueError(f"unknown backend: {backend!r}")
         world = self.world
         plan = self.plan_for(ip_version, populations)
         quic_config = quic_config or QuicScanConfig(ip_version=ip_version)
         tcp_config = tcp_config or TcpScanConfig(ip_version=ip_version)
-        run = WeeklyRun(week=week, vantage_id=vantage_id, ip_version=ip_version)
-        run.observations = list(starmap(DomainObservation, plan.protos))
+        if backend == "store":
+            from repro.store.views import StoreWeeklyRun
+
+            run: WeeklyRun = StoreWeeklyRun(
+                week=week, vantage_id=vantage_id, ip_version=ip_version
+            )
+        else:
+            run = WeeklyRun(week=week, vantage_id=vantage_id, ip_version=ip_version)
 
         # Phase 1: per-site exchanges, in reference trigger order.
         events, quic_capable = self._schedule(plan, week, vantage_id, include_tcp)
         records = run.site_records
+        phase_start = perf_counter() if phase_stats is not None else 0.0
         self._execute_site_phase(
             events,
             week,
@@ -526,9 +567,35 @@ class ScanEngine:
             reuse,
             site_rng,
         )
+        if phase_stats is not None:
+            now = perf_counter()
+            phase_stats.site_phase_seconds += now - phase_start
+            phase_start = now
 
-        # Phase 2: fan per-site results out to domains.
+        # Phase 2: attribute per-site results to domains.
         share = world.adoption_share(week)
+        if backend == "store":
+            self._attribute_store(run, plan, records, quic_capable, include_tcp, share)
+        else:
+            self._attribute_objects(run, plan, records, quic_capable, include_tcp, share)
+        if phase_stats is not None:
+            phase_stats.attribution_seconds += perf_counter() - phase_start
+
+        if run_tracebox:
+            _run_traces(world, week, vantage_id, ip_version, run)
+        return run
+
+    def _attribute_objects(
+        self,
+        run: WeeklyRun,
+        plan: ScanPlan,
+        records: dict,
+        quic_capable: dict[int, bool],
+        include_tcp: bool,
+        share: float,
+    ) -> None:
+        """The eager path: one slotted observation per domain + fan-out."""
+        run.observations = list(starmap(DomainObservation, plan.protos))
         observations = run.observations
         for plan_site in plan.sites:
             record = records.get(plan_site.site_index)
@@ -544,9 +611,35 @@ class ScanEngine:
                 for pos in plan_site.positions:
                     observations[pos].tcp = tcp_result
 
-        if run_tracebox:
-            _run_traces(world, week, vantage_id, ip_version, run)
-        return run
+    def _attribute_store(
+        self,
+        run: WeeklyRun,
+        plan: ScanPlan,
+        records: dict,
+        quic_capable: dict[int, bool],
+        include_tcp: bool,
+        share: float,
+    ) -> None:
+        """The columnar path: O(sites) recording, no per-domain work."""
+        from repro.store.columns import ObservationStore, plan_columns
+
+        store = ObservationStore(
+            plan_columns(plan),
+            week=run.week,
+            vantage_id=run.vantage_id,
+            ip_version=run.ip_version,
+            share=share,
+        )
+        for segment_index, plan_site in enumerate(plan.sites):
+            record = records.get(plan_site.site_index)
+            capable = quic_capable[plan_site.site_index]
+            store.record_site(
+                segment_index,
+                quic_capable=capable,
+                quic=(record.quic if record is not None else None) if capable else None,
+                tcp=record.tcp if (include_tcp and record is not None) else None,
+            )
+        run.attach(store)
 
     def run_weeks(
         self,
@@ -561,6 +654,8 @@ class ScanEngine:
         run_tracebox: bool = False,
         reuse_site_results: bool = False,
         site_rng: str = "shared",
+        backend: str = "objects",
+        phase_stats: ScanPhaseStats | None = None,
     ) -> list[WeeklyRun]:
         """A run per week, sharing one plan (and optionally site results).
 
@@ -583,6 +678,8 @@ class ScanEngine:
                 run_tracebox=run_tracebox,
                 reuse=reuse,
                 site_rng=site_rng,
+                backend=backend,
+                phase_stats=phase_stats,
             )
             for week in weeks
         ]

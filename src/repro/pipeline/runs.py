@@ -71,8 +71,15 @@ def run_weekly_scan(
     quic_config: QuicScanConfig | None = None,
     tcp_config: TcpScanConfig | None = None,
     run_tracebox: bool = False,
+    backend: str = "objects",
 ) -> WeeklyRun:
-    """Scan every domain of the selected populations for one week."""
+    """Scan every domain of the selected populations for one week.
+
+    ``backend="store"`` serves the observations from the columnar
+    :mod:`repro.store` instead of materialising per-domain objects —
+    field-identical results either way (campaigns default to the store;
+    single scans keep the eager objects).
+    """
     return world.scan_engine().run_week(
         week,
         vantage_id,
@@ -82,6 +89,7 @@ def run_weekly_scan(
         quic_config=quic_config,
         tcp_config=tcp_config,
         run_tracebox=run_tracebox,
+        backend=backend,
     )
 
 

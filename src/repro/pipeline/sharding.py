@@ -20,10 +20,12 @@ behaviour — what the paper's tables and figures aggregate — is the same.
 
 The process executor forks workers (POSIX only), so the world is
 inherited by reference snapshot instead of being pickled; only the
-per-shard event lists travel to workers and only slotted
-``(site_index, kind, result, elapsed)`` tuples travel back.  Build the
-world completely before the first sharded run and call :meth:`close`
-(or use the engine as a context manager) when done.
+per-shard event lists travel to workers, and results travel back as
+**one codec buffer per shard** (:mod:`repro.store.codec`) — flat
+varint-packed bytes instead of a pickled object list, decoded centrally
+before the merge.  Build the world completely before the first sharded
+run and call :meth:`close` (or use the engine as a context manager)
+when done.
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ from repro.pipeline.engine import (
 )
 from repro.scanner.quic_scan import QuicScanConfig
 from repro.scanner.tcp_scan import TcpScanConfig
+from repro.store.codec import decode_shard_results, encode_shard_results
 from repro.util.weeks import Week
 
 #: Engine inherited by forked pool workers (fork snapshots this module's
@@ -152,8 +155,13 @@ class ShardedScanEngine(ScanEngine):
                 for i in order
                 if shards[i]
             ]
-            for shard_result in pool.map(_pool_run_shard, payloads):
-                for site_index, kind, result, elapsed in shard_result:
+            # Workers marshal each shard as ONE codec buffer (see
+            # repro.store.codec) instead of a pickled object list —
+            # results cross the process boundary as flat bytes.
+            for shard_buffer in pool.map(_pool_run_shard, payloads):
+                for site_index, kind, result, elapsed in decode_shard_results(
+                    shard_buffer
+                ):
                     merged[(site_index, kind)] = (result, elapsed)
 
         # Merge centrally, in the serial event order: records fill in the
@@ -236,12 +244,14 @@ class ShardedScanEngine(ScanEngine):
             pass
 
 
-def _pool_run_shard(payload):
-    """Pool task: run one shard on the engine inherited via fork."""
+def _pool_run_shard(payload) -> bytes:
+    """Pool task: run one shard, marshal its results as one codec buffer."""
     engine = _WORKER_ENGINE
     if engine is None:  # pragma: no cover - misuse guard
         raise RuntimeError("worker has no inherited ShardedScanEngine")
     events, week, vantage_id, ip_version, quic_config, tcp_config = payload
-    return engine._run_shard(
-        events, week, vantage_id, ip_version, quic_config, tcp_config
+    return encode_shard_results(
+        engine._run_shard(
+            events, week, vantage_id, ip_version, quic_config, tcp_config
+        )
     )

@@ -21,28 +21,38 @@ class SiteScanRecord:
     traced: bool = False
 
 
-@dataclass(slots=True)
-class DomainObservation:
-    """Everything one weekly scan learned about one domain.
+def server_label_of(quic: QuicConnectionResult | None) -> str:
+    """Figure 3 server grouping of one QUIC result.
 
-    A weekly run materialises one of these per domain, so the class is
-    slotted and the scan engine constructs it positionally from
-    precomputed prototype tuples — keep new fields appended and defaulted.
+    The result-level entry point: store-backed analysis labels each
+    site result row once and fans the label out by index; the
+    observation property below delegates here so the two paths share
+    one grouping rule.
+    """
+    if quic is None or not quic.connected:
+        return "Unavailable"
+    header = quic.server_header
+    if header is None:
+        return "Unknown"
+    if header in ("LiteSpeed", "Pepyaka"):
+        return header
+    return "Other"
+
+
+class ObservationDerived:
+    """Derived per-domain properties shared by every observation shape.
+
+    Everything here reads only ``self.quic``, so the eager
+    :class:`DomainObservation` and the columnar
+    :class:`repro.store.views.ObservationView` inherit one definition —
+    the store path cannot drift from the object path.  Slot-free on
+    purpose (``__slots__ = ()``): both subclasses are slotted.
     """
 
-    domain: str
-    population: str  # "cno" | "toplist"
-    lists: tuple[str, ...]
-    parked: bool
-    resolved: bool
-    ip: str | None = None
-    org: str = "<unknown>"
-    site_index: int = -1
-    quic_attempted: bool = False
-    quic: QuicConnectionResult | None = None
-    tcp: TcpScanOutcome | None = None
+    __slots__ = ()
 
-    # ------------------------------------------------------------------
+    quic: QuicConnectionResult | None
+
     @property
     def quic_available(self) -> bool:
         return self.quic is not None and self.quic.connected
@@ -74,17 +84,34 @@ class DomainObservation:
     @property
     def server_label(self) -> str:
         """Figure 3 grouping: LiteSpeed / Pepyaka / Other / Unknown."""
-        if self.quic is None or not self.quic.connected:
-            return "Unavailable"
-        header = self.quic.server_header
-        if header is None:
-            return "Unknown"
-        if header in ("LiteSpeed", "Pepyaka"):
-            return header
-        return "Other"
+        return server_label_of(self.quic)
 
     @property
     def version_label(self) -> str | None:
         if self.quic is None or self.quic.version is None:
             return None
         return self.quic.version.label
+
+
+@dataclass(slots=True)
+class DomainObservation(ObservationDerived):
+    """Everything one weekly scan learned about one domain.
+
+    A weekly run materialises one of these per domain, so the class is
+    slotted and the scan engine constructs it positionally from
+    precomputed prototype tuples — keep new fields appended and defaulted.
+    Store-backed runs skip the materialisation entirely and serve the
+    same fields through :class:`repro.store.views.ObservationView`.
+    """
+
+    domain: str
+    population: str  # "cno" | "toplist"
+    lists: tuple[str, ...]
+    parked: bool
+    resolved: bool
+    ip: str | None = None
+    org: str = "<unknown>"
+    site_index: int = -1
+    quic_attempted: bool = False
+    quic: QuicConnectionResult | None = None
+    tcp: TcpScanOutcome | None = None

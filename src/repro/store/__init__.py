@@ -1,0 +1,48 @@
+"""Columnar campaign store: the results layer of the scan pipeline.
+
+The measurement loop (``repro.pipeline``) produces one result per
+*site*; the paper's analyses consume results per *domain*.  Bridging
+the two used to mean materialising one :class:`DomainObservation`
+object per domain per weekly run — ~40 % of a serial campaign week.
+This package stores a run the way large measurement platforms do
+(PathSpider's typed result records, zgrab2's output pipeline): as
+typed parallel arrays over observation positions, with the domain
+dimension represented by index arrays computed at plan build.
+
+* :mod:`repro.store.columns` — :class:`DomainColumns` (week-invariant
+  per-position columns + per-site attribution segments, built once per
+  scan plan) and :class:`ObservationStore` (the per-run record of the
+  site phase: one result row per site, lazy position→row index arrays).
+* :mod:`repro.store.views` — :class:`ObservationView`, a lazy,
+  field-compatible stand-in for :class:`DomainObservation`;
+  :class:`StoreObservations`, the sequence view analysis iterates; and
+  :class:`StoreWeeklyRun`, the store-backed weekly run.
+* :mod:`repro.store.codec` — a compact binary codec for shard result
+  batches, so fork-pool workers ship one buffer per shard instead of
+  pickled object lists.
+
+Store-backed runs are golden-identical to the object path (pinned by
+``tests/test_store_golden.py``) and are the default for campaigns.
+"""
+
+from repro.store.codec import decode_shard_results, encode_shard_results
+from repro.store.columns import DomainColumns, ObservationStore, SiteSegment, plan_columns
+from repro.store.views import (
+    ObservationView,
+    StoreObservations,
+    StoreWeeklyRun,
+    store_slice,
+)
+
+__all__ = [
+    "DomainColumns",
+    "ObservationStore",
+    "SiteSegment",
+    "plan_columns",
+    "ObservationView",
+    "StoreObservations",
+    "StoreWeeklyRun",
+    "store_slice",
+    "encode_shard_results",
+    "decode_shard_results",
+]

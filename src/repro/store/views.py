@@ -1,0 +1,210 @@
+"""Lazy per-domain views over the columnar store.
+
+:class:`ObservationView` is a two-slot flyweight exposing the full
+:class:`~repro.scanner.results.DomainObservation` surface (fields and
+derived properties) by reading the store's columns — nothing is copied,
+nothing is materialised until a field is actually read.  Analysis code
+that iterates observations works unchanged; analysis hot paths detect
+store backing via :func:`store_slice` and skip the views entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence, overload
+
+from repro.pipeline.runs import WeeklyRun
+from repro.scanner.results import DomainObservation, ObservationDerived
+from repro.store.columns import ObservationStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.quic.connection import QuicConnectionResult
+    from repro.tcp.client import TcpScanOutcome
+
+
+class ObservationView(ObservationDerived):
+    """One domain's observation, read on demand from the store.
+
+    Field-compatible with :class:`DomainObservation` (same names, same
+    values, same derived properties via the shared
+    :class:`ObservationDerived` base) but never holds per-domain state:
+    every attribute read is column indexing.
+    """
+
+    __slots__ = ("store", "position")
+
+    def __init__(self, store: ObservationStore, position: int):
+        self.store = store
+        self.position = position
+
+    # -- plan columns (week-invariant) ---------------------------------
+    @property
+    def domain(self) -> str:
+        return self.store.columns.domains[self.position]
+
+    @property
+    def population(self) -> str:
+        return self.store.columns.populations[self.position]
+
+    @property
+    def lists(self) -> tuple[str, ...]:
+        return self.store.columns.lists[self.position]
+
+    @property
+    def parked(self) -> bool:
+        return bool(self.store.columns.parked[self.position])
+
+    @property
+    def resolved(self) -> bool:
+        return bool(self.store.columns.resolved[self.position])
+
+    @property
+    def ip(self) -> str | None:
+        return self.store.columns.ips[self.position]
+
+    @property
+    def org(self) -> str:
+        return self.store.columns.orgs[self.position]
+
+    @property
+    def site_index(self) -> int:
+        return self.store.columns.site_indexes[self.position]
+
+    # -- run columns (per week) ----------------------------------------
+    @property
+    def quic_attempted(self) -> bool:
+        return self.store.quic_attempted_at(self.position)
+
+    @property
+    def quic(self) -> "QuicConnectionResult | None":
+        return self.store.quic_at(self.position)
+
+    @property
+    def tcp(self) -> "TcpScanOutcome | None":
+        return self.store.tcp_at(self.position)
+
+    # ------------------------------------------------------------------
+    def materialize(self) -> DomainObservation:
+        """An eager :class:`DomainObservation` copy of this view."""
+        return DomainObservation(
+            domain=self.domain,
+            population=self.population,
+            lists=self.lists,
+            parked=self.parked,
+            resolved=self.resolved,
+            ip=self.ip,
+            org=self.org,
+            site_index=self.site_index,
+            quic_attempted=self.quic_attempted,
+            quic=self.quic,
+            tcp=self.tcp,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ObservationView(domain={self.domain!r}, position={self.position}, "
+            f"quic_attempted={self.quic_attempted})"
+        )
+
+
+class StoreObservations(Sequence):
+    """Sequence facade over store positions, yielding lazy views.
+
+    ``positions=None`` covers every position of the run (the
+    ``run.observations`` shape); a positions array restricts the view
+    to a population slice.  Iteration order is always ascending
+    position order — the object path's order.
+    """
+
+    __slots__ = ("store", "positions")
+
+    def __init__(self, store: ObservationStore, positions: Sequence[int] | None = None):
+        self.store = store
+        self.positions = positions
+
+    def __len__(self) -> int:
+        if self.positions is None:
+            return self.store.columns.count
+        return len(self.positions)
+
+    @overload
+    def __getitem__(self, index: int) -> ObservationView: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> list[ObservationView]: ...
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            if self.positions is None:
+                return [
+                    ObservationView(self.store, position)
+                    for position in range(*index.indices(self.store.columns.count))
+                ]
+            return [
+                ObservationView(self.store, position)
+                for position in self.positions[index]
+            ]
+        if self.positions is None:
+            count = self.store.columns.count
+            if index < 0:
+                index += count
+            if not 0 <= index < count:
+                raise IndexError(index)
+            return ObservationView(self.store, index)
+        return ObservationView(self.store, self.positions[index])
+
+    def __iter__(self) -> Iterator[ObservationView]:
+        store = self.store
+        if self.positions is None:
+            for position in range(store.columns.count):
+                yield ObservationView(store, position)
+        else:
+            for position in self.positions:
+                yield ObservationView(store, position)
+
+
+def store_slice(
+    observations,
+) -> tuple[ObservationStore, Sequence[int]] | None:
+    """``(store, positions)`` when ``observations`` is store-backed.
+
+    The hook analysis fast paths use to go column-native; returns
+    ``None`` for plain observation lists (the compatibility path).
+    """
+    if isinstance(observations, StoreObservations):
+        store = observations.store
+        positions = observations.positions
+        if positions is None:
+            positions = range(store.columns.count)
+        return store, positions
+    return None
+
+
+@dataclass
+class StoreWeeklyRun(WeeklyRun):
+    """A :class:`WeeklyRun` whose observations live in the store.
+
+    ``observations`` is a :class:`StoreObservations` sequence (lazy
+    views), and the two per-run query helpers are overridden with
+    column-native implementations.  Everything else — site records,
+    traces, the trace sampler — is identical to the object path.
+    """
+
+    store: ObservationStore | None = None
+
+    def attach(self, store: ObservationStore) -> None:
+        self.store = store
+        self.observations = StoreObservations(store)
+
+    # ------------------------------------------------------------------
+    def quic_domains(self) -> list[ObservationView]:
+        store = self.store
+        views = []
+        for position, result in store.iter_quic_positions():
+            if result is not None and result.connected:
+                views.append(ObservationView(store, position))
+        return views
+
+    def observations_for(self, population: str) -> StoreObservations:
+        store = self.store
+        return StoreObservations(store, store.positions_for(population))
