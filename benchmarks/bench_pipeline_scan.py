@@ -19,11 +19,14 @@ Runs under the bench harness (pytest-benchmark) or standalone::
     PYTHONPATH=src python benchmarks/bench_pipeline_scan.py --smoke    # scale-1000 smoke
     PYTHONPATH=src python benchmarks/bench_pipeline_scan.py --smoke --check  # CI gate
 
-``--smoke`` records ``smoke_*`` fields (scan **and** a store-backed
-campaign); ``--check`` compares fresh smoke numbers against the
-committed baselines, exits non-zero on a >2x regression, and then
-refreshes the ``smoke_*`` fields so CI can upload the measured file as
-an artifact.
+``--smoke`` records ``smoke_*`` fields (scan, a store-backed default
+campaign, **and** a fork-pool executor campaign); ``--check`` compares
+fresh smoke numbers against the committed baselines, exits non-zero on
+a >2x regression — or on an exchange-cache hit rate below the
+committed :data:`CACHE_HIT_RATE_FLOOR` (a broken replay cache
+re-simulates every exchange and is caught here before it is caught as
+a wall-time regression) — and then refreshes the ``smoke_*`` fields so
+CI can upload the measured file as an artifact.
 """
 
 from __future__ import annotations
@@ -44,6 +47,12 @@ SMOKE_SCALE = 1_000
 #: CI gate: fail when a smoke case is more than this factor slower
 #: than its committed ``smoke_*_seconds`` baseline.
 SMOKE_REGRESSION_FACTOR = 2.0
+#: CI gate: fail when the smoke campaign's exchange-cache hit rate
+#: (aggregated over its best-of-3 rounds) drops below this floor.  A
+#: healthy cache measures ~0.95 there (first round ~0.88 cold inside
+#: one campaign, later rounds ~1.0 warm); 0.5 is far below anything a
+#: working cache produces and far above the ~0.0 a broken one yields.
+CACHE_HIT_RATE_FLOOR = 0.5
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
 
 #: Throughput of the untouched seed (commit ff796bd), measured with this
@@ -111,20 +120,29 @@ def _shared_world() -> "repro.World":
 
 
 def _campaign_with_split(world, rounds: int = 3, **kwargs):
-    """Best-of-N campaign; returns (campaign, best seconds, its phase split)."""
+    """Best-of-N campaign.
+
+    Returns (campaign, best seconds, best round's phase split, cache
+    stats aggregated over *all* rounds).  The aggregate is the number
+    the hit-rate gate watches: round one runs against whatever cache
+    state the shared engine has, later rounds replay warm — a broken
+    cache drags the aggregate towards zero regardless of round order.
+    """
     best = None
+    totals = ScanPhaseStats()
     for _ in range(rounds):
         stats = ScanPhaseStats()
         result, elapsed = _timed(
             lambda: repro.run_campaign(world, phase_stats=stats, **kwargs)
         )
+        totals.merge_cache_counters(stats)
         if best is None or elapsed < best[1]:
             best = (result, elapsed, stats)
-    return best
+    return best + (totals,)
 
 
-def _record_campaign_split(stats: ScanPhaseStats, campaign) -> None:
-    """Record the phase split + an analysis pass over the finished runs."""
+def _record_campaign_split(stats: ScanPhaseStats, campaign, cache_totals=None) -> None:
+    """Record the phase split, cache counters, and an analysis pass."""
     _, analysis_elapsed = _timed(lambda: longitudinal_report(campaign))
     stats.analysis_seconds += analysis_elapsed
     _record(
@@ -132,6 +150,15 @@ def _record_campaign_split(stats: ScanPhaseStats, campaign) -> None:
         campaign_attribution_seconds=stats.attribution_seconds,
         campaign_analysis_seconds=stats.analysis_seconds,
     )
+    if cache_totals is not None:
+        _record(
+            campaign_exchange_cache_hits=cache_totals.exchange_cache_hits,
+            campaign_exchange_cache_misses=cache_totals.exchange_cache_misses,
+            campaign_exchange_cache_uncacheable=cache_totals.exchange_cache_uncacheable,
+            campaign_exchange_cache_hit_rate=round(
+                cache_totals.exchange_cache_hit_rate, 4
+            ),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -196,7 +223,10 @@ def bench_campaign(benchmark):
         campaign_weeks=len(result.runs),
         campaign_domains_per_second=round(total_obs / best),
     )
-    _record_campaign_split(best_stats, best_result)
+    cache_totals = ScanPhaseStats()
+    for _, _, stats in rounds:
+        cache_totals.merge_cache_counters(stats)
+    _record_campaign_split(best_stats, best_result, cache_totals)
     print(f"\ncampaign: {len(result.runs)} weeks, {total_obs} observations")
 
 
@@ -264,18 +294,19 @@ def run_full() -> None:
     )
     print(f"scan: {best:.4f}s ({round(len(run.observations) / best)} domains/s)")
 
-    result, campaign_best, stats = _campaign_with_split(world)
+    result, campaign_best, stats, cache_totals = _campaign_with_split(world)
     total_obs = sum(len(r.observations) for r in result.runs)
     _record(
         campaign_seconds=campaign_best,
         campaign_weeks=len(result.runs),
         campaign_domains_per_second=round(total_obs / campaign_best),
     )
-    _record_campaign_split(stats, result)
+    _record_campaign_split(stats, result, cache_totals)
     print(f"campaign: {campaign_best:.3f}s ({len(result.runs)} weeks, "
           f"{round(total_obs / campaign_best)} domains/s; site phase "
           f"{stats.site_phase_seconds:.3f}s, attribution "
-          f"{stats.attribution_seconds:.3f}s)")
+          f"{stats.attribution_seconds:.3f}s, cache hit rate "
+          f"{cache_totals.exchange_cache_hit_rate:.3f})")
 
     sharded, sharded_best = _best_of(lambda: repro.run_campaign(world, shards=4))
     sharded_obs = sum(len(r.observations) for r in sharded.runs)
@@ -308,10 +339,13 @@ MEASURED_PATH = RESULTS_PATH.with_name("BENCH_pipeline.measured.json")
 
 
 def _smoke_measure() -> dict:
-    """Scale-1000 smoke measurements: weekly scan + store campaign.
+    """Scale-1000 smoke: weekly scan + store campaign + fork-pool campaign.
 
-    Both cases are best-of-3 — the 2x CI gate compares single machines
+    All cases are best-of-3 — the 2x CI gate compares single machines
     across runs, and a one-shot number would trip it on scheduler noise.
+    The fork-pool case drives the whole worker/codec path (fork, shard
+    codec buffers, cache-counter trailer) so marshalling regressions
+    fail the build, not just slow the full bench.
     """
     world = repro.build_world(WorldConfig(scale=SMOKE_SCALE))
     world.scan_engine().plan_for(4, ("cno", "toplist"))
@@ -320,13 +354,20 @@ def _smoke_measure() -> dict:
             world, world.config.reference_week, run_tracebox=True
         )
     )
-    campaign, campaign_best = _best_of(lambda: repro.run_campaign(world))
+    campaign, campaign_best, _, cache_totals = _campaign_with_split(world)
     campaign_obs = sum(len(r.observations) for r in campaign.runs)
+    forkpool, forkpool_best = _best_of(
+        lambda: repro.run_campaign(world, shards=4, shard_executor="process")
+    )
+    forkpool_obs = sum(len(r.observations) for r in forkpool.runs)
     print(f"smoke scan (scale {SMOKE_SCALE}): {scan_best:.4f}s "
           f"({len(run.observations)} domains)")
     print(f"smoke campaign (scale {SMOKE_SCALE}): {campaign_best:.3f}s "
           f"({len(campaign.runs)} weeks, "
-          f"{round(campaign_obs / campaign_best)} domains/s)")
+          f"{round(campaign_obs / campaign_best)} domains/s, cache hit rate "
+          f"{cache_totals.exchange_cache_hit_rate:.3f})")
+    print(f"smoke fork-pool campaign (scale {SMOKE_SCALE}): {forkpool_best:.3f}s "
+          f"({round(forkpool_obs / forkpool_best)} domains/s)")
     return {
         "smoke_scale": SMOKE_SCALE,
         "smoke_scan_seconds": scan_best,
@@ -334,6 +375,14 @@ def _smoke_measure() -> dict:
         "smoke_campaign_seconds": campaign_best,
         "smoke_campaign_weeks": len(campaign.runs),
         "smoke_campaign_domains_per_second": round(campaign_obs / campaign_best),
+        "smoke_campaign_exchange_cache_hits": cache_totals.exchange_cache_hits,
+        "smoke_campaign_exchange_cache_misses": cache_totals.exchange_cache_misses,
+        "smoke_campaign_exchange_cache_hit_rate": round(
+            cache_totals.exchange_cache_hit_rate, 4
+        ),
+        "smoke_forkpool_seconds": forkpool_best,
+        "smoke_forkpool_shards": 4,
+        "smoke_forkpool_domains_per_second": round(forkpool_obs / forkpool_best),
     }
 
 
@@ -341,12 +390,13 @@ def run_smoke(check: bool) -> int:
     """Scale-1000 smoke: fast enough for every CI run.
 
     Without ``check`` the fresh numbers become the committed baselines
-    in ``BENCH_pipeline.json``.  With ``check`` the fresh scan *and
-    campaign* times are compared against the committed
-    ``smoke_scan_seconds`` / ``smoke_campaign_seconds``; a >2x
-    regression on either fails.  Check runs write their measurements to
-    ``BENCH_pipeline.measured.json`` (the CI artifact) and leave the
-    committed baseline file untouched.
+    in ``BENCH_pipeline.json``.  With ``check`` the fresh scan,
+    campaign *and fork-pool campaign* times are compared against the
+    committed ``smoke_*_seconds`` baselines (a >2x regression on any
+    fails), and the campaign's exchange-cache hit rate must clear the
+    committed :data:`CACHE_HIT_RATE_FLOOR`.  Check runs write their
+    measurements to ``BENCH_pipeline.measured.json`` (the CI artifact)
+    and leave the committed baseline file untouched.
     """
     metrics = _smoke_measure()
     if not check:
@@ -361,6 +411,7 @@ def run_smoke(check: bool) -> int:
     for field, label in (
         ("smoke_scan_seconds", "smoke scan"),
         ("smoke_campaign_seconds", "smoke campaign"),
+        ("smoke_forkpool_seconds", "smoke fork-pool campaign"),
     ):
         baseline = committed.get(field)
         if baseline is None:
@@ -375,6 +426,13 @@ def run_smoke(check: bool) -> int:
             print(f"FAIL: {label} regressed >{SMOKE_REGRESSION_FACTOR}x "
                   f"({fresh:.4f}s > {limit:.4f}s)", file=sys.stderr)
             status = 1
+    hit_rate = metrics["smoke_campaign_exchange_cache_hit_rate"]
+    print(f"smoke campaign cache hit rate: floor {CACHE_HIT_RATE_FLOOR:.2f}, "
+          f"measured {hit_rate:.4f}")
+    if hit_rate < CACHE_HIT_RATE_FLOOR:
+        print(f"FAIL: exchange-cache hit rate {hit_rate:.4f} below the "
+              f"committed floor {CACHE_HIT_RATE_FLOOR:.2f}", file=sys.stderr)
+        status = 1
     MEASURED_PATH.write_text(
         json.dumps({**committed, **metrics}, indent=2, sort_keys=True) + "\n"
     )

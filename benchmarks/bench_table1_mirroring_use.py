@@ -4,7 +4,6 @@ Paper: toplists 525.58k QUIC domains (3.3 % mirroring / 2.8 % use);
 com/net/org 17.30M QUIC domains (5.6 % / 4.2 %), 19.5 % / 11.8 % per IP.
 """
 
-import repro
 from repro.analysis.render import render_table1
 from repro.analysis.tables import table1
 

@@ -37,6 +37,10 @@ def bench_table5(benchmark, main_run, ipv6_run):
         )
         for cls, cells in table.items()
     ]
-    print(render_table(["Mirrored Counters", "IPs v4", "Domains v4", "IPs v6", "Domains v6"], rows))
+    print(
+        render_table(
+            ["Mirrored Counters", "IPs v4", "Domains v4", "IPs v6", "Domains v6"], rows
+        )
+    )
     print("paper v4 domains: AllCE 4 / Re-Mark 301.72k / Undercount 630.58k /")
     print("                  Capable 38.12k / No Mirroring 16.33M")

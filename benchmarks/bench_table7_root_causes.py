@@ -36,7 +36,12 @@ def bench_table7(benchmark, main_run):
         render_table(
             ["Validation", "Trace shows", "IPs", "Domains"],
             [
-                (r.validation.value, r.final_codepoint, format_count(r.ips), format_count(r.domains))
+                (
+                    r.validation.value,
+                    r.final_codepoint,
+                    format_count(r.ips),
+                    format_count(r.domains),
+                )
                 for r in rows
             ],
         )

@@ -14,7 +14,6 @@ Run:  python examples/tracebox_hunt.py
 """
 
 import repro
-from repro.core.codepoints import ECN
 from repro.scanner.quic_scan import scan_site_quic
 from repro.tracebox.classify import classify_trace
 from repro.tracebox.probe import trace_site

@@ -65,7 +65,12 @@ def render_clearing_table(table: ClearingTable, top: int = 9) -> str:
     body = render_table(
         ["AS Org.", "Cleared", "Not Tested", "Not Cleared"],
         [
-            (row.org, format_count(row.cleared), format_count(row.not_tested), format_count(row.not_cleared))
+            (
+                row.org,
+                format_count(row.cleared),
+                format_count(row.not_tested),
+                format_count(row.not_cleared),
+            )
             for row in table.rows[:top]
         ],
     )

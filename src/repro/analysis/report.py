@@ -69,7 +69,12 @@ def reference_report(run: WeeklyRun, ipv6_run: WeeklyRun | None = None) -> str:
     parts.append(_section("Table 6: validation classes per provider", "\n".join(lines)))
     if run.traces:
         rows7 = [
-            (r.validation.value, r.final_codepoint, format_count(r.ips), format_count(r.domains))
+            (
+                r.validation.value,
+                r.final_codepoint,
+                format_count(r.ips),
+                format_count(r.domains),
+            )
             for r in tab.table7(run)
         ]
         parts.append(

@@ -20,6 +20,7 @@ import repro
 from repro.analysis.report import global_report, longitudinal_report, reference_report
 from repro.extensions.greasing import run_greasing_study
 from repro.l4s.experiment import run_l4s_experiment
+from repro.pipeline.engine import ScanPhaseStats
 from repro.tracebox.classify import classify_trace
 from repro.tracebox.probe import trace_site
 from repro.util.weeks import Week
@@ -69,14 +70,25 @@ def _cmd_campaign(args) -> int:
         print("--shard-executor requires --shards", file=sys.stderr)
         return 2
     world = _build_world(args)
+    stats = ScanPhaseStats()
     campaign = repro.run_campaign(
         world,
         cadence_weeks=args.cadence,
         shards=args.shards,
         shard_executor=args.shard_executor,
         backend=args.backend,
+        exchange_cache=not args.no_exchange_cache,
+        phase_stats=stats,
     )
     print(longitudinal_report(campaign))
+    attempts = stats.exchange_cache_hits + stats.exchange_cache_misses
+    if attempts or stats.exchange_cache_uncacheable:
+        print(
+            f"exchange cache: {stats.exchange_cache_hits} hits / "
+            f"{stats.exchange_cache_misses} misses / "
+            f"{stats.exchange_cache_uncacheable} uncacheable "
+            f"({100 * stats.exchange_cache_hit_rate:.1f}% hit rate)"
+        )
     return 0
 
 
@@ -190,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="results layer: the columnar campaign store (default; "
              "golden-identical, far cheaper attribution) or eager "
              "per-domain observation objects",
+    )
+    campaign.add_argument(
+        "--no-exchange-cache",
+        action="store_true",
+        help="run every site exchange fresh instead of replaying cached "
+             "outcomes (the replay is byte-identical; this exists for "
+             "timing comparisons and debugging)",
     )
     campaign.set_defaults(func=_cmd_campaign)
 

@@ -1,0 +1,43 @@
+"""Exchange core + outcome replay cache (see docs/architecture.md).
+
+:mod:`repro.exchange.core` factors the per-site QUIC/TCP exchanges into
+a pure ``ExchangeInputs`` → outcome function; :mod:`repro.exchange.cache`
+replays outcomes when the derived inputs repeat — the campaign-scale
+shortcut behind the scan engine's warm-cache throughput.
+"""
+
+from repro.exchange.cache import (
+    CacheStats,
+    ExchangeCache,
+    ExchangeOutcome,
+    replay_outcome,
+)
+from repro.exchange.core import (
+    DEAD_TARGET_TIMEOUT,
+    QUIC_EXCHANGE,
+    SCAN_TTL,
+    TCP_EXCHANGE,
+    ExchangeInputs,
+    RecordingClock,
+    quic_exchange_inputs,
+    run_quic_exchange,
+    run_tcp_exchange,
+    tcp_exchange_inputs,
+)
+
+__all__ = [
+    "CacheStats",
+    "DEAD_TARGET_TIMEOUT",
+    "ExchangeCache",
+    "ExchangeInputs",
+    "ExchangeOutcome",
+    "QUIC_EXCHANGE",
+    "RecordingClock",
+    "SCAN_TTL",
+    "TCP_EXCHANGE",
+    "quic_exchange_inputs",
+    "replay_outcome",
+    "run_quic_exchange",
+    "run_tcp_exchange",
+    "tcp_exchange_inputs",
+]

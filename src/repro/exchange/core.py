@@ -1,0 +1,293 @@
+"""The pure exchange core: ``ExchangeInputs`` → scan outcome.
+
+Both per-site exchange loops (QUIC and TCP) are factored into two
+stages:
+
+1. **Input derivation** (:func:`quic_exchange_inputs` /
+   :func:`tcp_exchange_inputs`) resolves *everything the exchange can
+   observe* into one :class:`ExchangeInputs` capsule: the target
+   address of the scanned family, the vantage's frozen client config,
+   the server stack's week-resolved :class:`StackBehavior` (QUIC) or
+   :class:`TcpProfile` (TCP), the site's canned HTTP response, and the
+   concrete ECMP path member the scan 5-tuple hashes onto at the
+   week's route epoch.
+2. **Execution** (:func:`run_quic_exchange` / :func:`run_tcp_exchange`)
+   runs the scan client against exactly those inputs — nothing else is
+   consulted, so two exchanges with equal inputs produce equal results
+   and the identical sequence of virtual-clock advances.
+
+That purity is what the replay cache (:mod:`repro.exchange.cache`)
+exploits: when a path makes zero RNG draws (``NetworkPath.draw_free``),
+the whole exchange is a deterministic function of the capsule, and a
+cached ``(result, clock-advance sequence)`` replays byte-identically.
+The authority the GET names is deliberately *not* part of the capsule's
+outcome-relevant surface: servers never branch on request bytes (they
+ack per packet and answer the fixed canned response on fin), and no
+result field carries the authority — pinned by the golden tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.http.messages import HttpRequest
+from repro.netsim.clock import Clock
+from repro.netsim.packet import FlowKey
+from repro.quic.connection import QUIC_PORT, QuicClient, QuicClientConfig, QuicConnectionResult
+from repro.quicstacks.base import QuicServerStack
+from repro.scanner.wire import ScanWire
+from repro.tcp.client import HTTPS_PORT, TcpClientConfig, TcpScanClient, TcpScanOutcome
+from repro.tcp.server import TcpServerStack
+from repro.util.rng import RngStream
+from repro.util.weeks import Week
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.web.world import Site, World
+
+#: Exchange kinds (aligned with the engine's event kinds: QUIC first).
+QUIC_EXCHANGE = 0
+TCP_EXCHANGE = 1
+
+#: TTL both scan clients stamp on outgoing packets.  Paths shorter than
+#: this never expire a scan packet, so the ICMP machinery (the one
+#: clock-*reading* part of traversal) stays untouched.
+SCAN_TTL = 64
+
+#: Wall-clock a scan client burns against a dead or QUIC-less target
+#: before giving up (shared by the QUIC and TCP scanners so both
+#: advance the virtual clock identically).
+DEAD_TARGET_TIMEOUT = 10.0
+
+
+@dataclass(slots=True)
+class ExchangeInputs:
+    """Everything one site exchange is allowed to depend on.
+
+    ``behavior`` (QUIC) / ``tcp_profile`` (TCP) is ``None`` for a dead
+    target — unreachable policy, no QUIC listener this week — and
+    ``target_ip`` is ``None`` when the site has no address of the
+    scanned family.  ``path`` / ``response`` are only set for live
+    targets.  The capsule is week-free by construction except through
+    the week-*bucketed* members: the behaviour value (stable within a
+    stack's behaviour epoch) and the path object (stable within a
+    route epoch), which is exactly the invalidation granularity the
+    replay cache wants.
+    """
+
+    kind: int
+    ip_version: int
+    target_ip: str | None
+    route_key: str
+    client_config: QuicClientConfig | TcpClientConfig
+    behavior: object | None = None
+    tcp_profile: object | None = None
+    response: object | None = None
+    path: object | None = None
+
+
+class RecordingClock:
+    """A clock wrapper that logs every advance while forwarding it.
+
+    The recorded tuple *is* the exchange's observable time behaviour:
+    replaying the same advances against any clock reproduces the exact
+    float trajectory (same additions in the same order), which keeps
+    cached exchanges bit-identical to fresh ones in both the shared-
+    and per-site-clock execution modes.
+    """
+
+    __slots__ = ("clock", "advances")
+
+    def __init__(self, clock: Clock):
+        self.clock = clock
+        self.advances: list[float] = []
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def advance(self, seconds: float) -> float:
+        self.advances.append(seconds)
+        return self.clock.advance(seconds)
+
+
+# ----------------------------------------------------------------------
+# Input derivation
+# ----------------------------------------------------------------------
+def _resolve_scan_path(
+    world: "World",
+    vantage_id: str,
+    route_key: str,
+    week: Week,
+    flow: FlowKey,
+    path_memo: dict | None,
+    memo_key: tuple | None,
+):
+    """The concrete ECMP member the scan flow traverses this week.
+
+    ``path_memo`` (per-cache) short-circuits the flow hash: the 5-tuple
+    is week-invariant, so the selected member only changes when the
+    route *epoch* does — the memo revalidates template identity per
+    call and re-selects only then.
+    """
+    template = world.network.template_for(vantage_id, route_key, week)
+    if path_memo is not None:
+        cached = path_memo.get(memo_key)
+        if cached is not None and cached[0] is template:
+            return cached[1]
+    path = template.select(flow)
+    if path_memo is not None:
+        path_memo[memo_key] = (template, path)
+    return path
+
+
+def quic_exchange_inputs(
+    world: "World",
+    site: "Site",
+    week: Week,
+    vantage_id: str,
+    client_config: QuicClientConfig,
+    *,
+    path_memo: dict | None = None,
+) -> ExchangeInputs:
+    """Derive the QUIC exchange capsule for one (site, week, vantage)."""
+    ip_version = client_config.ip_version
+    target_ip = site.ip if ip_version == 4 else site.ipv6
+    route_key = site.route_key + ("/v6" if ip_version == 6 else "")
+    inputs = ExchangeInputs(
+        QUIC_EXCHANGE, ip_version, target_ip, route_key, client_config
+    )
+    if target_ip is None:
+        return inputs
+    policy = world.site_policy(site, vantage_id)
+    if policy.reachable and policy.quic_profile is not None:
+        behavior = world.stack_registry.behavior(policy.quic_profile, week)
+        if behavior.quic_enabled:
+            inputs.behavior = behavior
+    if inputs.behavior is None:
+        return inputs
+    inputs.response = world.site_response(site)
+    flow = FlowKey(
+        client_config.source_ip,
+        target_ip,
+        client_config.source_port,
+        QUIC_PORT,
+        "udp",
+    )
+    memo_key = (site.index, vantage_id, ip_version, QUIC_EXCHANGE)
+    inputs.path = _resolve_scan_path(
+        world, vantage_id, route_key, week, flow, path_memo, memo_key
+    )
+    return inputs
+
+
+def tcp_exchange_inputs(
+    world: "World",
+    site: "Site",
+    week: Week,
+    vantage_id: str,
+    client_config: TcpClientConfig,
+    *,
+    path_memo: dict | None = None,
+) -> ExchangeInputs:
+    """Derive the TCP exchange capsule for one (site, week, vantage)."""
+    ip_version = client_config.ip_version
+    target_ip = site.ip if ip_version == 4 else site.ipv6
+    route_key = site.route_key + ("/v6" if ip_version == 6 else "")
+    inputs = ExchangeInputs(
+        TCP_EXCHANGE, ip_version, target_ip, route_key, client_config
+    )
+    if target_ip is None:
+        return inputs
+    policy = world.site_policy(site, vantage_id)
+    if not policy.reachable:
+        return inputs
+    inputs.tcp_profile = policy.tcp_profile
+    inputs.response = world.site_response(site)
+    flow = FlowKey(
+        client_config.source_ip,
+        target_ip,
+        client_config.source_port,
+        HTTPS_PORT,
+        "tcp",
+    )
+    memo_key = (site.index, vantage_id, ip_version, TCP_EXCHANGE)
+    inputs.path = _resolve_scan_path(
+        world, vantage_id, route_key, week, flow, path_memo, memo_key
+    )
+    return inputs
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _response_factory(response):
+    return lambda _raw: response
+
+
+def run_quic_exchange(
+    world: "World",
+    inputs: ExchangeInputs,
+    week: Week,
+    vantage_id: str,
+    authority: str,
+    *,
+    rng: RngStream | None = None,
+    clock=None,
+) -> QuicConnectionResult:
+    """Execute one QUIC exchange from its derived inputs."""
+    if inputs.target_ip is None:
+        return QuicConnectionResult(error="no address for this family")
+    if inputs.behavior is None:
+        result = QuicConnectionResult(error="no QUIC listener")
+        # The client still burns its timeout budget against dead targets.
+        (clock if clock is not None else world.clock).advance(DEAD_TARGET_TIMEOUT)
+        return result
+    server = QuicServerStack(
+        inputs.behavior,
+        _response_factory(inputs.response),
+        ip_version=inputs.ip_version,
+    )
+    wire = ScanWire(
+        world,
+        vantage_id,
+        inputs.route_key,
+        server.handle_datagram,
+        week,
+        rng=rng,
+        clock=clock,
+        path=inputs.path,
+    )
+    client = QuicClient(wire, inputs.client_config)
+    return client.fetch(inputs.target_ip, HttpRequest(authority=authority))
+
+
+def run_tcp_exchange(
+    world: "World",
+    inputs: ExchangeInputs,
+    week: Week,
+    vantage_id: str,
+    authority: str,
+    *,
+    rng: RngStream | None = None,
+    clock=None,
+) -> TcpScanOutcome:
+    """Execute one TCP exchange from its derived inputs."""
+    if inputs.target_ip is None:
+        return TcpScanOutcome(error="no address for this family")
+    if inputs.tcp_profile is None:
+        (clock if clock is not None else world.clock).advance(DEAD_TARGET_TIMEOUT)
+        return TcpScanOutcome(error="connection timeout")
+    server = TcpServerStack(inputs.tcp_profile, _response_factory(inputs.response))
+    wire = ScanWire(
+        world,
+        vantage_id,
+        inputs.route_key,
+        server.handle_segment,
+        week,
+        rng=rng,
+        clock=clock,
+        path=inputs.path,
+    )
+    client = TcpScanClient(wire, inputs.client_config)
+    return client.fetch(inputs.target_ip, HttpRequest(authority=authority))

@@ -9,7 +9,7 @@ hint header required by the ethics appendix.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Ethics appendix: every request embeds the project name as a hint.
 RESEARCH_HINT_HEADER = ("x-research", "quic-ecn-measurement; opt-out: see probe IP website")

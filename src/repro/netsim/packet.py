@@ -8,7 +8,7 @@ transport objects (QUIC packets, TCP segments, HTTP bodies).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.codepoints import ECN, ecn_from_tos, tos_with_ecn

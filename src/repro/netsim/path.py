@@ -42,6 +42,13 @@ class NetworkPath:
     #: behaviours are fixed at construction (nothing in the repo mutates
     #: a built Router), so this is precomputed once per path.
     _transparent: bool = field(init=False, repr=False, compare=False)
+    #: True when no traversal of a TTL-surviving packet can consult the
+    #: RNG: no end-to-end loss, no per-hop random loss, no probabilistic
+    #: AQM marking.  Deterministic ECN rewrites and ECT blackholing keep
+    #: a path draw-free — they never draw.  This is what makes an
+    #: exchange over the path a pure function of its inputs, which the
+    #: exchange replay cache (:mod:`repro.exchange`) relies on.
+    _draw_free: bool = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.hops:
@@ -53,6 +60,15 @@ class NetworkPath:
             and not hop.drop_if_ect
             for hop in self.hops
         )
+        self._draw_free = self.base_loss == 0.0 and all(
+            hop.aqm_ce_probability == 0.0 and hop.drop_probability == 0.0
+            for hop in self.hops
+        )
+
+    @property
+    def draw_free(self) -> bool:
+        """Whether traversals of TTL-surviving packets never draw RNG."""
+        return self._draw_free
 
     @property
     def length(self) -> int:

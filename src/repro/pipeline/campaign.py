@@ -78,6 +78,7 @@ def run_campaign(
     shard_executor: str = "inline",
     backend: str = "store",
     phase_stats: "ScanPhaseStats | None" = None,
+    exchange_cache: bool = True,
 ) -> Campaign:
     """Scan the world repeatedly over the measurement period.
 
@@ -102,7 +103,14 @@ def run_campaign(
     the attribution cost at campaign scale; ``backend="objects"`` keeps
     the eager per-domain materialisation.  ``phase_stats`` (a
     :class:`~repro.pipeline.engine.ScanPhaseStats`) accumulates the
-    site-phase / attribution wall-time split across the series.
+    site-phase / attribution wall-time split across the series, plus
+    the exchange replay-cache hit/miss counters.
+
+    ``exchange_cache`` (default on) is what makes re-measuring stable
+    site-weeks cheap: exchanges whose inputs repeat across the series
+    replay cached outcomes byte-identically (:mod:`repro.exchange`).
+    ``exchange_cache=False`` forces every exchange to run fresh (the
+    golden tests compare the two).
     """
     if weeks is None:
         weeks = []
@@ -118,11 +126,21 @@ def run_campaign(
                 f"shard_executor={shard_executor!r} has no effect without shards; "
                 "pass shards=N to run a sharded site phase"
             )
-        engine = world.scan_engine()
+        if exchange_cache:
+            engine = world.scan_engine()
+        else:
+            from repro.pipeline.engine import ScanEngine
+
+            engine = ScanEngine(world, exchange_cache=False)
     else:
         from repro.pipeline.sharding import ShardedScanEngine
 
-        engine = ShardedScanEngine(world, shards=shards, executor=shard_executor)
+        engine = ShardedScanEngine(
+            world,
+            shards=shards,
+            executor=shard_executor,
+            exchange_cache=exchange_cache,
+        )
     campaign = Campaign()
     try:
         for run in engine.run_weeks(

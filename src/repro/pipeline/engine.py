@@ -23,6 +23,15 @@ The engine splits a weekly run into two phases (docs/architecture.md):
    per-domain work is a tuple-splat construction plus a few attribute
    stores; no string parsing, no trie walks, no policy evaluation.
 
+The site phase is emitted pre-ordered (no per-week sort): a
+week-invariant QUIC trigger index — prefix-minimum records over the
+store's rank-sorted :class:`~repro.store.columns.SiteSegment` arrays —
+merges with the sites' first attributed positions in one linear pass.
+Exchanges route through the outcome replay cache (:mod:`repro.exchange`):
+when a site-week's derived inputs repeat (same behaviour epoch, client
+config, route epoch, response) the recorded result and clock trajectory
+replay byte-identically instead of re-simulating the connection.
+
 :meth:`ScanEngine.site_events` exposes the ordered site phase as data.
 :class:`~repro.pipeline.sharding.ShardedScanEngine` partitions it across
 workers; the ``site_rng`` mode below is what makes that sound:
@@ -45,12 +54,20 @@ from itertools import starmap
 from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
+from repro.exchange import (
+    ExchangeCache,
+    ExchangeOutcome,
+    RecordingClock,
+    replay_outcome,
+)
+from repro.exchange.core import quic_exchange_inputs, tcp_exchange_inputs
 from repro.netsim.clock import Clock
 from repro.pipeline.runs import WeeklyRun, _run_traces, ensure_site_record
 from repro.quic.connection import QuicConnectionResult
-from repro.scanner.quic_scan import QuicScanConfig, scan_site_quic
+from repro.scanner.quic_scan import QuicScanConfig, quic_client_config, scan_site_quic
 from repro.scanner.results import DomainObservation
-from repro.scanner.tcp_scan import TcpScanConfig, scan_site_tcp
+from repro.scanner.tcp_scan import TcpScanConfig, scan_site_tcp, tcp_client_config
+from repro.store.columns import plan_columns
 from repro.util.rng import RngStream
 from repro.util.weeks import Week
 
@@ -90,6 +107,19 @@ class SiteEvent:
     authority_domain: str
 
 
+def _emit_quic_trigger(trigger: tuple, share: float, quic_capable: dict, append) -> None:
+    """Append the QUIC event of one trigger candidate if it fires.
+
+    A candidate fires when the weekly share strictly exceeds its
+    activation rank but not its deactivation rank (at which point an
+    earlier position of the same site takes over), and the site is
+    QUIC-capable from this vantage.
+    """
+    position, site_index, address, name, rank_on, rank_off = trigger
+    if rank_on < share and rank_off >= share and quic_capable[site_index]:
+        append(SiteEvent(position, QUIC_EVENT, site_index, address, name))
+
+
 @dataclass
 class ScanPlan:
     """Precomputed attribution for one (ip family, populations) pair."""
@@ -104,6 +134,15 @@ class ScanPlan:
     #: :func:`repro.store.columns.plan_columns`; cached here so every
     #: store-backed run of a campaign shares one column set).
     columns: "object | None" = None
+    #: Week-invariant QUIC trigger index: position-sorted candidate
+    #: tuples ``(position, site_index, address, name, rank_on,
+    #: rank_off)`` derived from the columns' rank-sorted
+    #: :class:`~repro.store.columns.SiteSegment` arrays.  At a weekly
+    #: share exactly one candidate per site satisfies
+    #: ``rank_on < share <= rank_off`` — its position is where the
+    #: site's QUIC exchange fires — so the site phase emits events
+    #: pre-ordered with no per-week sort.
+    quic_triggers: "list[tuple] | None" = None
 
 
 @dataclass
@@ -115,11 +154,32 @@ class ScanPhaseStats:
     (object path) or the O(sites) store recording (store path).
     ``analysis_seconds`` is filled by callers that time an analysis
     pass over the finished runs — the engine never runs analysis.
+
+    The ``exchange_cache_*`` counters account the replay cache
+    (:mod:`repro.exchange`) over the covered site phases: ``hits``
+    replayed a cached outcome, ``misses`` ran fresh and populated the
+    cache, ``uncacheable`` ran fresh because the path may draw
+    randomness.  Fork-pool runs merge worker-side counters in before
+    the site phase ends, so the split is executor-independent.
     """
 
     site_phase_seconds: float = 0.0
     attribution_seconds: float = 0.0
     analysis_seconds: float = 0.0
+    exchange_cache_hits: int = 0
+    exchange_cache_misses: int = 0
+    exchange_cache_uncacheable: int = 0
+
+    @property
+    def exchange_cache_hit_rate(self) -> float:
+        attempts = self.exchange_cache_hits + self.exchange_cache_misses
+        return self.exchange_cache_hits / attempts if attempts else 0.0
+
+    def merge_cache_counters(self, other: "ScanPhaseStats") -> None:
+        """Fold another split's exchange-cache counters into this one."""
+        self.exchange_cache_hits += other.exchange_cache_hits
+        self.exchange_cache_misses += other.exchange_cache_misses
+        self.exchange_cache_uncacheable += other.exchange_cache_uncacheable
 
 
 @dataclass
@@ -143,17 +203,32 @@ class ScanEngine:
     :meth:`World.scan_engine` so campaigns share one instance.  Call
     :meth:`invalidate` after mutating the world's resolver, prefix table
     or domain set post-build.
+
+    ``exchange_cache`` (default on) routes every site exchange through
+    the outcome replay cache (:mod:`repro.exchange`): an exchange whose
+    derived inputs repeat — same behaviour epoch, client config, route
+    epoch, response — replays the recorded result and clock trajectory
+    instead of re-simulating, byte-identically (golden-tested in
+    ``tests/test_exchange_golden.py``).  Pass ``exchange_cache=False``
+    to force every exchange to run fresh.
     """
 
-    def __init__(self, world: "World"):
+    def __init__(self, world: "World", *, exchange_cache: bool = True):
         self.world = world
         self._plans: dict[tuple[int, tuple[str, ...]], ScanPlan] = {}
+        self.exchange_cache: ExchangeCache | None = (
+            ExchangeCache() if exchange_cache else None
+        )
 
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
         self._plans.clear()
+        # Cached outcomes key on objects a world mutation may replace
+        # (policies, routes, site identities) — drop them with the plans.
+        if self.exchange_cache is not None:
+            self.exchange_cache.clear()
 
     def plan_for(self, ip_version: int, populations: Sequence[str]) -> ScanPlan:
         key = (ip_version, tuple(populations))
@@ -265,11 +340,53 @@ class ScanEngine:
                 plan_site.positions = [t[0] for t in triples]
                 plan_site.ranks = [t[1] for t in triples]
                 plan_site.names = [t[2] for t in triples]
+        # Scheduling merges the TCP stream (a site's first position) with
+        # the position-sorted QUIC trigger index, so the "ordered by first
+        # attributed position" contract is enforced here rather than
+        # assumed.  For worlds built normally this is already the append
+        # order and the sort is a linear no-op.
+        ordered.sort(key=lambda plan_site: plan_site.positions[0])
         return ordered
 
     # ------------------------------------------------------------------
     # Site phase scheduling
     # ------------------------------------------------------------------
+    def _quic_triggers(self, plan: ScanPlan) -> list[tuple]:
+        """The plan's position-sorted QUIC trigger index (built once).
+
+        Candidates come from the columnar store's rank-sorted
+        :class:`~repro.store.columns.SiteSegment` arrays: each is a
+        prefix-minimum record — the position that becomes the site's
+        earliest QUIC-wanting domain once the weekly share exceeds
+        ``rank_on``, superseded when it exceeds ``rank_off`` (the next,
+        earlier-position candidate of the same site).
+        """
+        triggers = plan.quic_triggers
+        if triggers is None:
+            triggers = []
+            for plan_site, segment in zip(plan.sites, plan_columns(plan).segments):
+                name_at = dict(zip(plan_site.positions, plan_site.names))
+                candidates = segment.quic_trigger_candidates()
+                for index, (rank_on, position) in enumerate(candidates):
+                    rank_off = (
+                        candidates[index + 1][0]
+                        if index + 1 < len(candidates)
+                        else float("inf")
+                    )
+                    triggers.append(
+                        (
+                            position,
+                            plan_site.site_index,
+                            plan_site.address,
+                            name_at[position],
+                            rank_on,
+                            rank_off,
+                        )
+                    )
+            triggers.sort()  # positions are globally unique
+            plan.quic_triggers = triggers
+        return triggers
+
     def _schedule(
         self,
         plan: ScanPlan,
@@ -281,40 +398,46 @@ class ScanEngine:
 
         Event order reproduces the reference loop: each site's QUIC
         exchange fires at its first domain that wants QUIC this week,
-        its TCP exchange at its first attributed domain, globally sorted
-        by domain position (QUIC before TCP at the same position).
+        its TCP exchange at its first attributed domain, globally
+        ordered by domain position (QUIC before TCP at the same
+        position).  Events are *emitted* in that order by merging two
+        position-sorted streams — the week-invariant QUIC trigger index
+        and the sites' first attributed positions — so scheduling a
+        week is a single linear pass with no sort.
         """
         world = self.world
         sites = world.sites
         site_policy = world.site_policy
         share = world.adoption_share(week)
-        events: list[SiteEvent] = []
         quic_capable: dict[int, bool] = {}
         for plan_site in plan.sites:
             index = plan_site.site_index
             policy = site_policy(sites[index], vantage_id)
-            capable = policy.reachable and policy.quic_profile is not None
-            quic_capable[index] = capable
-            if capable:
-                for pos, rank, name in zip(
-                    plan_site.positions, plan_site.ranks, plan_site.names
-                ):
-                    if rank < share:
-                        events.append(
-                            SiteEvent(pos, QUIC_EVENT, index, plan_site.address, name)
-                        )
-                        break
-            if include_tcp:
-                events.append(
+            quic_capable[index] = policy.reachable and policy.quic_profile is not None
+
+        events: list[SiteEvent] = []
+        append = events.append
+        triggers = self._quic_triggers(plan)
+        cursor, trigger_count = 0, len(triggers)
+        if include_tcp:
+            for plan_site in plan.sites:
+                first = plan_site.positions[0]
+                # QUIC sorts before TCP at equal positions (same site).
+                while cursor < trigger_count and triggers[cursor][0] <= first:
+                    _emit_quic_trigger(triggers[cursor], share, quic_capable, append)
+                    cursor += 1
+                append(
                     SiteEvent(
-                        plan_site.positions[0],
+                        first,
                         TCP_EVENT,
-                        index,
+                        plan_site.site_index,
                         plan_site.address,
                         plan_site.names[0],
                     )
                 )
-        events.sort(key=lambda event: (event.position, event.kind))
+        while cursor < trigger_count:
+            _emit_quic_trigger(triggers[cursor], share, quic_capable, append)
+            cursor += 1
         return events, quic_capable
 
     def site_events(
@@ -371,18 +494,75 @@ class ScanEngine:
             cached = reuse.quic.get(site.index)
             if cached is not None and cached[0] == epoch:
                 return cached[1]
-        result = scan_site_quic(
-            self.world,
-            site,
-            week,
-            vantage_id,
-            config,
-            authority=f"www.{authority_domain}",
-            rng=rng,
-            clock=clock,
+        result = self._exchange(
+            QUIC_EVENT, site, week, vantage_id, config, authority_domain, rng, clock
         )
         if reuse is not None:
             reuse.quic[site.index] = (epoch, result)
+        return result
+
+    def _exchange(
+        self,
+        kind: int,
+        site: "Site",
+        week: Week,
+        vantage_id: str,
+        config,
+        authority_domain: str,
+        rng: RngStream | None,
+        clock: Clock | None,
+    ):
+        """One site exchange through the replay cache.
+
+        Byte-identical to a fresh scan whichever branch runs: a miss
+        executes the real scan against a :class:`RecordingClock` and
+        caches (result, advance trajectory); a hit replays exactly that
+        trajectory into the caller's clock and returns the same result
+        object.  Exchanges whose key derivation reports ``None`` (the
+        path may draw randomness) always run fresh, preserving the RNG
+        stream draw for draw.
+        """
+        world = self.world
+        authority = f"www.{authority_domain}"
+        cache = self.exchange_cache
+        if kind == QUIC_EVENT:
+            scan, prepare, client_config_for = (
+                scan_site_quic,
+                quic_exchange_inputs,
+                quic_client_config,
+            )
+        else:
+            scan, prepare, client_config_for = (
+                scan_site_tcp,
+                tcp_exchange_inputs,
+                tcp_client_config,
+            )
+        if cache is None:
+            return scan(
+                world, site, week, vantage_id, config,
+                authority=authority, rng=rng, clock=clock,
+            )
+        client_config = client_config_for(config, world.vantages[vantage_id].source_ip)
+        inputs = prepare(
+            world, site, week, vantage_id, client_config, path_memo=cache.path_memo
+        )
+        key = cache.key_for(inputs)
+        if key is None:
+            cache.stats.uncacheable += 1
+            return scan(
+                world, site, week, vantage_id, config,
+                authority=authority, rng=rng, clock=clock, inputs=inputs,
+            )
+        outcome = cache.fetch(key)
+        target_clock = clock if clock is not None else world.clock
+        if outcome is not None:
+            return replay_outcome(outcome, target_clock)
+        recorder = RecordingClock(target_clock)
+        result = scan(
+            world, site, week, vantage_id, config,
+            authority=authority, rng=rng, clock=recorder, inputs=inputs,
+        )
+        cache.store(key, ExchangeOutcome(result, tuple(recorder.advances)))
         return result
 
     # ------------------------------------------------------------------
@@ -431,15 +611,15 @@ class ScanEngine:
                 clock=clock,
             )
         else:
-            record.tcp = scan_site_tcp(
-                self.world,
+            record.tcp = self._exchange(
+                TCP_EVENT,
                 site,
                 week,
                 vantage_id,
                 tcp_config,
-                authority=f"www.{event.authority_domain}",
-                rng=rng,
-                clock=clock,
+                event.authority_domain,
+                rng,
+                clock,
             )
 
     def _execute_site_phase(
@@ -555,6 +735,12 @@ class ScanEngine:
         # Phase 1: per-site exchanges, in reference trigger order.
         events, quic_capable = self._schedule(plan, week, vantage_id, include_tcp)
         records = run.site_records
+        cache = self.exchange_cache
+        cache_base = (
+            cache.stats.snapshot()
+            if phase_stats is not None and cache is not None
+            else None
+        )
         phase_start = perf_counter() if phase_stats is not None else 0.0
         self._execute_site_phase(
             events,
@@ -571,6 +757,11 @@ class ScanEngine:
             now = perf_counter()
             phase_stats.site_phase_seconds += now - phase_start
             phase_start = now
+            if cache_base is not None:
+                hits, misses, uncacheable = cache.stats.snapshot()
+                phase_stats.exchange_cache_hits += hits - cache_base[0]
+                phase_stats.exchange_cache_misses += misses - cache_base[1]
+                phase_stats.exchange_cache_uncacheable += uncacheable - cache_base[2]
 
         # Phase 2: attribute per-site results to domains.
         share = world.adoption_share(week)

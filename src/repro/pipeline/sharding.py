@@ -42,7 +42,7 @@ from repro.pipeline.engine import (
 )
 from repro.scanner.quic_scan import QuicScanConfig
 from repro.scanner.tcp_scan import TcpScanConfig
-from repro.store.codec import decode_shard_results, encode_shard_results
+from repro.store.codec import decode_shard_payload, encode_shard_results
 from repro.util.weeks import Week
 
 #: Engine inherited by forked pool workers (fork snapshots this module's
@@ -73,8 +73,9 @@ class ShardedScanEngine(ScanEngine):
         shards: int | None = None,
         executor: str = "inline",
         shard_order: Sequence[int] | None = None,
+        exchange_cache: bool = True,
     ):
-        super().__init__(world)
+        super().__init__(world, exchange_cache=exchange_cache)
         if executor not in ("inline", "process"):
             raise ValueError(f"unknown executor: {executor!r}")
         self.shards = shards if shards is not None else default_shards()
@@ -157,11 +158,13 @@ class ShardedScanEngine(ScanEngine):
             ]
             # Workers marshal each shard as ONE codec buffer (see
             # repro.store.codec) instead of a pickled object list —
-            # results cross the process boundary as flat bytes.
+            # results cross the process boundary as flat bytes, with the
+            # worker's exchange-cache counters in the buffer trailer.
             for shard_buffer in pool.map(_pool_run_shard, payloads):
-                for site_index, kind, result, elapsed in decode_shard_results(
-                    shard_buffer
-                ):
+                entries, cache_stats = decode_shard_payload(shard_buffer)
+                if self.exchange_cache is not None:
+                    self.exchange_cache.stats.add(*cache_stats)
+                for site_index, kind, result, elapsed in entries:
                     merged[(site_index, kind)] = (result, elapsed)
 
         # Merge centrally, in the serial event order: records fill in the
@@ -245,13 +248,25 @@ class ShardedScanEngine(ScanEngine):
 
 
 def _pool_run_shard(payload) -> bytes:
-    """Pool task: run one shard, marshal its results as one codec buffer."""
+    """Pool task: run one shard, marshal its results as one codec buffer.
+
+    The worker's exchange cache (inherited at fork, warmed across the
+    weeks this worker has processed) accounts its own hits/misses; the
+    per-shard delta rides in the codec trailer so the parent's counters
+    stay executor-independent.
+    """
     engine = _WORKER_ENGINE
     if engine is None:  # pragma: no cover - misuse guard
         raise RuntimeError("worker has no inherited ShardedScanEngine")
     events, week, vantage_id, ip_version, quic_config, tcp_config = payload
-    return encode_shard_results(
-        engine._run_shard(
-            events, week, vantage_id, ip_version, quic_config, tcp_config
-        )
+    cache = engine.exchange_cache
+    base = cache.stats.snapshot() if cache is not None else (0, 0, 0)
+    entries = engine._run_shard(
+        events, week, vantage_id, ip_version, quic_config, tcp_config
     )
+    if cache is not None:
+        now = cache.stats.snapshot()
+        delta = (now[0] - base[0], now[1] - base[1], now[2] - base[2])
+    else:
+        delta = (0, 0, 0)
+    return encode_shard_results(entries, cache_stats=delta)

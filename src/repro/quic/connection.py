@@ -455,7 +455,9 @@ def _request_template(
     authority between them changes per scanned site."""
     head = f"{method} {path} HTTP/3\r\nauthority: ".encode()
     tail_lines = [f"{key}: {value}" for key, value in headers]
-    tail = ("\r\n" + "\r\n".join(tail_lines) + "\r\n\r\n" if tail_lines else "\r\n\r\n").encode()
+    tail = (
+        "\r\n" + "\r\n".join(tail_lines) + "\r\n\r\n" if tail_lines else "\r\n\r\n"
+    ).encode()
     return head, tail
 
 

@@ -4,6 +4,11 @@ The scan issues a single HTTPS GET to the ``www`` name, never follows
 ``Location`` or ``Alt-Svc``, uses the adapted retransmission behaviour
 (one Initial retransmission) and the reduced ECN validation budget of
 5 packets / 2 timeouts.
+
+The exchange itself lives in :mod:`repro.exchange.core`: this module
+derives the inputs capsule (client config, week-resolved behaviour,
+ECMP path member, canned response) and hands it to the pure executor —
+the same two-stage split the engine's replay cache keys on.
 """
 
 from __future__ import annotations
@@ -13,18 +18,24 @@ from functools import lru_cache
 
 from repro.core.codepoints import ECN
 from repro.core.validation import ValidationConfig
-from repro.http.messages import HttpRequest
+from repro.exchange.core import (
+    DEAD_TARGET_TIMEOUT,
+    ExchangeInputs,
+    quic_exchange_inputs,
+    run_quic_exchange,
+)
 from repro.netsim.clock import Clock
-from repro.quic.connection import QuicClient, QuicClientConfig, QuicConnectionResult
-from repro.scanner.wire import ScanWire
+from repro.quic.connection import QuicClientConfig, QuicConnectionResult
 from repro.util.rng import RngStream
 from repro.util.weeks import Week
 from repro.web.world import Site, World
 
-#: Wall-clock a scan client burns against a dead or QUIC-less target
-#: before giving up (shared with the TCP scanner so both advance the
-#: virtual clock identically).
-DEAD_TARGET_TIMEOUT = 10.0
+__all__ = [
+    "DEAD_TARGET_TIMEOUT",
+    "QuicScanConfig",
+    "quic_client_config",
+    "scan_site_quic",
+]
 
 
 @dataclass(frozen=True)
@@ -53,12 +64,13 @@ class QuicScanConfig:
 
 
 @lru_cache(maxsize=128)
-def _client_config(config: QuicScanConfig, source_ip: str) -> QuicClientConfig:
+def quic_client_config(config: QuicScanConfig, source_ip: str) -> QuicClientConfig:
     """Week- and site-invariant client config per (scan config, vantage).
 
     Both inputs are frozen, so one immutable config object (and its
     embedded :class:`ValidationConfig`) is shared by every exchange a
-    campaign issues instead of being rebuilt per site per week.
+    campaign issues instead of being rebuilt per site per week — and
+    the replay cache can token it by identity after the first hash.
     """
     return QuicClientConfig(
         validation=config.validation(),
@@ -78,6 +90,7 @@ def scan_site_quic(
     authority: str | None = None,
     rng: RngStream | None = None,
     clock: Clock | None = None,
+    inputs: ExchangeInputs | None = None,
 ) -> QuicConnectionResult:
     """Run the QUIC ECN scan against one site.
 
@@ -85,24 +98,21 @@ def scan_site_quic(
     unreachable or QUIC-less site yields ``connected=False``.
     ``rng``/``clock`` override the world's shared network stream and
     virtual clock — the sharded engine passes per-site substreams here.
+    ``inputs`` skips re-deriving the exchange capsule for callers (the
+    replay cache) that already hold it.
     """
     config = config or QuicScanConfig()
-    vantage = world.vantages[vantage_id]
-    target_ip = site.ip if config.ip_version == 4 else site.ipv6
-    if target_ip is None:
-        return QuicConnectionResult(error="no address for this family")
-    server = world.quic_server(
-        site, week, vantage_id, ip_version=config.ip_version
+    if inputs is None:
+        client_config = quic_client_config(
+            config, world.vantages[vantage_id].source_ip
+        )
+        inputs = quic_exchange_inputs(world, site, week, vantage_id, client_config)
+    return run_quic_exchange(
+        world,
+        inputs,
+        week,
+        vantage_id,
+        authority or f"www.{site.route_key.split('/')[0]}.example",
+        rng=rng,
+        clock=clock,
     )
-    if server is None:
-        result = QuicConnectionResult(error="no QUIC listener")
-        # The client still burns its timeout budget against dead targets.
-        (clock if clock is not None else world.clock).advance(DEAD_TARGET_TIMEOUT)
-        return result
-    route_key = site.route_key + ("/v6" if config.ip_version == 6 else "")
-    wire = ScanWire(
-        world, vantage_id, route_key, server.handle_datagram, week, rng=rng, clock=clock
-    )
-    client = QuicClient(wire, _client_config(config, vantage.source_ip))
-    request = HttpRequest(authority=authority or f"www.{site.route_key.split('/')[0]}.example")
-    return client.fetch(target_ip, request)

@@ -1,4 +1,8 @@
-"""TCP HTTP ECN scan of one server site (§4.1, §6.3)."""
+"""TCP HTTP ECN scan of one server site (§4.1, §6.3).
+
+Like :mod:`repro.scanner.quic_scan`, a thin input-derivation layer over
+the pure exchange core in :mod:`repro.exchange.core`.
+"""
 
 from __future__ import annotations
 
@@ -6,14 +10,24 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core.codepoints import ECN
-from repro.http.messages import HttpRequest
+from repro.exchange.core import (
+    DEAD_TARGET_TIMEOUT,
+    ExchangeInputs,
+    run_tcp_exchange,
+    tcp_exchange_inputs,
+)
 from repro.netsim.clock import Clock
-from repro.scanner.quic_scan import DEAD_TARGET_TIMEOUT
-from repro.scanner.wire import ScanWire
-from repro.tcp.client import TcpClientConfig, TcpScanClient, TcpScanOutcome
+from repro.tcp.client import TcpClientConfig, TcpScanOutcome
 from repro.util.rng import RngStream
 from repro.util.weeks import Week
 from repro.web.world import Site, World
+
+__all__ = [
+    "DEAD_TARGET_TIMEOUT",
+    "TcpScanConfig",
+    "scan_site_tcp",
+    "tcp_client_config",
+]
 
 
 @dataclass(frozen=True)
@@ -25,7 +39,7 @@ class TcpScanConfig:
 
 
 @lru_cache(maxsize=128)
-def _client_config(config: TcpScanConfig, source_ip: str) -> TcpClientConfig:
+def tcp_client_config(config: TcpScanConfig, source_ip: str) -> TcpClientConfig:
     """Invariant client config per (scan config, vantage); see quic_scan."""
     return TcpClientConfig(
         probe_codepoint=config.probe_codepoint,
@@ -44,25 +58,26 @@ def scan_site_tcp(
     authority: str | None = None,
     rng: RngStream | None = None,
     clock: Clock | None = None,
+    inputs: ExchangeInputs | None = None,
 ) -> TcpScanOutcome:
     """Run the TCP ECN scan against one site.
 
     ``rng``/``clock`` override the shared network stream and clock for
-    sharded execution, exactly as in :func:`scan_site_quic`.
+    sharded execution, exactly as in :func:`scan_site_quic`; ``inputs``
+    skips re-deriving the exchange capsule.
     """
     config = config or TcpScanConfig()
-    vantage = world.vantages[vantage_id]
-    target_ip = site.ip if config.ip_version == 4 else site.ipv6
-    if target_ip is None:
-        return TcpScanOutcome(error="no address for this family")
-    server = world.tcp_server(site, week, vantage_id)
-    if server is None:
-        (clock if clock is not None else world.clock).advance(DEAD_TARGET_TIMEOUT)
-        return TcpScanOutcome(error="connection timeout")
-    route_key = site.route_key + ("/v6" if config.ip_version == 6 else "")
-    wire = ScanWire(
-        world, vantage_id, route_key, server.handle_segment, week, rng=rng, clock=clock
+    if inputs is None:
+        client_config = tcp_client_config(
+            config, world.vantages[vantage_id].source_ip
+        )
+        inputs = tcp_exchange_inputs(world, site, week, vantage_id, client_config)
+    return run_tcp_exchange(
+        world,
+        inputs,
+        week,
+        vantage_id,
+        authority or f"www.{site.route_key.split('/')[0]}.example",
+        rng=rng,
+        clock=clock,
     )
-    client = TcpScanClient(wire, _client_config(config, vantage.source_ip))
-    request = HttpRequest(authority=authority or f"www.{site.route_key.split('/')[0]}.example")
-    return client.fetch(target_ip, request)

@@ -42,6 +42,7 @@ class ScanWire:
         timeout: float = 1.0,
         rng: RngStream | None = None,
         clock: Clock | None = None,
+        path=None,
     ):
         self.world = world
         self.vantage_id = vantage_id
@@ -54,7 +55,10 @@ class ScanWire:
         self.lost_packets = 0
         self.rng = rng if rng is not None else world.network.rng
         self.clock = clock if clock is not None else world.clock
-        self._path = None  # resolved lazily from the first packet's 5-tuple
+        #: ``path`` pre-resolves the ECMP member (the exchange core derives
+        #: it from the scan 5-tuple up front); otherwise it is resolved
+        #: lazily from the first packet's flow key, as before.
+        self._path = path
 
     def exchange(self, packet: IpPacket) -> list[IpPacket]:
         """Send one packet; returns the host's responses (possibly none)."""

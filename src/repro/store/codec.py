@@ -18,6 +18,12 @@ Entries are ``(site_index, kind, result, elapsed)`` exactly as
 :meth:`ShardedScanEngine._run_shard` produces them; decoding yields
 objects that compare equal (``==``) to the originals, which the codec
 round-trip tests and the sharded golden tests pin.
+
+Version 2 adds a fixed three-varint header field carrying the worker's
+exchange replay-cache counters (hits, misses, uncacheable) for the
+encoded shard, so fork-pool runs report the same cache accounting as
+in-process executors.  :func:`decode_shard_results` keeps returning
+just the entries; :func:`decode_shard_payload` returns both.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ from repro.tcp.client import TcpScanOutcome
 from repro.tcp.ebpf import CodepointCounter
 
 #: Buffer prefix: codec name + format version.
-MAGIC = b"ECNSTOR1"
+MAGIC = b"ECNSTOR2"
 
 _RESULT_NONE = 0
 _RESULT_QUIC = 1
@@ -148,7 +154,9 @@ def _encode_quic(result: QuicConnectionResult, out: bytearray, table: _StringTab
         out += encode_varint(table.ref(result.error))
 
 
-def _decode_quic(buf: bytes, offset: int, strings: list[str]) -> tuple[QuicConnectionResult, int]:
+def _decode_quic(
+    buf: bytes, offset: int, strings: list[str]
+) -> tuple[QuicConnectionResult, int]:
     flags = buf[offset]
     string_flags = buf[offset + 1]
     offset += 2
@@ -291,12 +299,15 @@ def _decode_tcp(buf: bytes, offset: int, strings: list[str]) -> tuple[TcpScanOut
 # Public API
 # ----------------------------------------------------------------------
 def encode_shard_results(
-    entries: Sequence[tuple[int, int, object, float]]
+    entries: Sequence[tuple[int, int, object, float]],
+    *,
+    cache_stats: tuple[int, int, int] = (0, 0, 0),
 ) -> bytes:
     """Marshal one shard's ``(site, kind, result, elapsed)`` entries.
 
-    One buffer per shard: header, deduplicated string table, then the
-    packed entries.  ``elapsed`` round-trips bit-exactly.
+    One buffer per shard: header (including the shard's exchange-cache
+    ``(hits, misses, uncacheable)`` counters), deduplicated string
+    table, then the packed entries.  ``elapsed`` round-trips bit-exactly.
     """
     table = _StringTable()
     body = bytearray()
@@ -317,6 +328,8 @@ def encode_shard_results(
                 f"cannot encode shard result of type {type(result).__name__}"
             )
     out = bytearray(MAGIC)
+    for counter in cache_stats:
+        out += encode_varint(counter)
     out += encode_varint(len(table.strings))
     for value in table.strings:
         raw = value.encode("utf-8")
@@ -327,11 +340,16 @@ def encode_shard_results(
     return bytes(out)
 
 
-def decode_shard_results(buf: bytes) -> list[tuple[int, int, object, float]]:
-    """Inverse of :func:`encode_shard_results`."""
+def decode_shard_payload(
+    buf: bytes,
+) -> tuple[list[tuple[int, int, object, float]], tuple[int, int, int]]:
+    """Inverse of :func:`encode_shard_results`: (entries, cache stats)."""
     if buf[: len(MAGIC)] != MAGIC:
         raise ValueError("not a shard result buffer (bad magic)")
     offset = len(MAGIC)
+    hits, offset = decode_varint(buf, offset)
+    misses, offset = decode_varint(buf, offset)
+    uncacheable, offset = decode_varint(buf, offset)
     string_count, offset = decode_varint(buf, offset)
     strings: list[str] = []
     for _ in range(string_count):
@@ -358,4 +376,9 @@ def decode_shard_results(buf: bytes) -> list[tuple[int, int, object, float]]:
         else:
             raise ValueError(f"unknown shard result tag {tag}")
         entries.append((site_index, kind, result, elapsed))
-    return entries
+    return entries, (hits, misses, uncacheable)
+
+
+def decode_shard_results(buf: bytes) -> list[tuple[int, int, object, float]]:
+    """Entries-only view of :func:`decode_shard_payload`."""
+    return decode_shard_payload(buf)[0]

@@ -71,6 +71,27 @@ class SiteSegment:
         """
         return bisect_left(self.sorted_ranks, share)
 
+    def quic_trigger_candidates(self) -> list[tuple[float, int]]:
+        """Prefix-minimum records of the rank-sorted positions.
+
+        A candidate ``(rank, position)`` means: once the weekly adoption
+        share exceeds ``rank`` (strictly), ``position`` is the earliest
+        position of this site wanting QUIC — until the next candidate's
+        rank is exceeded too.  The site's QUIC exchange fires at its
+        earliest eligible position, so the week's trigger is exactly the
+        last candidate whose rank is below the share.  The scan engine
+        merges these (week-invariant, position-sortable) candidates into
+        its pre-ordered site-event stream instead of sorting events per
+        week.
+        """
+        best: int | None = None
+        candidates: list[tuple[float, int]] = []
+        for rank, position in zip(self.sorted_ranks, self.rank_positions):
+            if best is None or position < best:
+                best = position
+                candidates.append((rank, position))
+        return candidates
+
 
 class DomainColumns:
     """Week-invariant per-position columns of one scan plan."""

@@ -75,7 +75,8 @@ class TcpScanClient:
         outcome.ecn_negotiated = syn_ack.ece
 
         raw = _encode_request(request)
-        chunk_size = max(1, (len(raw) + self.config.data_packets - 1) // self.config.data_packets)
+        data_packets = self.config.data_packets
+        chunk_size = max(1, (len(raw) + data_packets - 1) // data_packets)
         chunks = [raw[i : i + chunk_size] for i in range(0, len(raw), chunk_size)]
         got_response = False
         for chunk in chunks:

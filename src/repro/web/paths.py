@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro.netsim.hops import EcnAction, IcmpPolicy, Router
 from repro.netsim.network import PathTemplate
 from repro.netsim.path import NetworkPath
+from repro.util.weeks import Week
 from repro.web.spec import ProviderSpec, VantageSpec
 
 # Transit AS numbers (real-world values, used as labels).
@@ -54,8 +55,6 @@ PATH_PROFILES = (
 )
 
 #: Route-epoch switch for ``level3-then-arelion`` (Server Central, §6.1).
-from repro.util.weeks import Week
-
 LEVEL3_TO_ARELION = Week(2022, 48)
 
 
@@ -196,14 +195,18 @@ class RouteBuilder:
         raise KeyError(f"unknown path profile: {profile}")
 
     # ------------------------------------------------------------------
-    def _clean_path(self, vantage: VantageSpec, provider: ProviderSpec, v6: bool) -> NetworkPath:
+    def _clean_path(
+        self, vantage: VantageSpec, provider: ProviderSpec, v6: bool
+    ) -> NetworkPath:
         addr = self._addr6 if v6 else self._addr
         hops = self._first_mile(vantage, v6)
         hops.append(_router(f"{vantage.vantage_id}/transit", AS_DTAG, addr()))
         hops.append(self._provider_edge(vantage, provider, v6))
         return NetworkPath(hops=hops)
 
-    def _level3_path(self, vantage: VantageSpec, provider: ProviderSpec, v6: bool) -> NetworkPath:
+    def _level3_path(
+        self, vantage: VantageSpec, provider: ProviderSpec, v6: bool
+    ) -> NetworkPath:
         addr = self._addr6 if v6 else self._addr
         hops = self._first_mile(vantage, v6)
         hops.append(_router(f"{vantage.vantage_id}/level3-a", AS_LEVEL3, addr()))

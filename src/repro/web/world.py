@@ -11,7 +11,7 @@ measurement period (ramp from ~81 % of the final fleet in June 2022 to
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.asdb.as2org import AsOrgMap
 from repro.asdb.prefixtree import PrefixTree
@@ -249,10 +249,15 @@ class World:
     # ------------------------------------------------------------------
     # Server construction
     # ------------------------------------------------------------------
-    def make_response_factory(self, site: Site):
-        # The body depends only on whether the site's group serves QUIC
-        # (the alt-svc header), so the two possible responses are built
-        # once per world and shared — responses are frozen value objects.
+    def site_response(self, site: Site) -> HttpResponse:
+        """The canned response this site serves to any request.
+
+        The body depends only on whether the site's group serves QUIC
+        (the alt-svc header), so the two possible responses are built
+        once per world and shared — responses are frozen value objects.
+        The exchange replay cache keys on this object: sites serving the
+        same response flavour are indistinguishable at the HTTP layer.
+        """
         advertises_h3 = site.group.quic_profile is not None
         response = self._response_cache.get(advertises_h3)
         if response is None:
@@ -263,6 +268,10 @@ class World:
                 status=200, headers=tuple(headers), body=b"<html>ok</html>"
             )
             self._response_cache[advertises_h3] = response
+        return response
+
+    def make_response_factory(self, site: Site):
+        response = self.site_response(site)
         return lambda _raw: response
 
     def quic_server(

@@ -3,7 +3,7 @@
 import pytest
 
 import repro
-from repro.analysis.figures import figure8, vantage_error_categories
+from repro.analysis.figures import figure8
 from repro.analysis.render import (
     render_figure3,
     render_figure7,

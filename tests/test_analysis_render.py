@@ -1,6 +1,5 @@
 """ASCII renderers."""
 
-import repro
 from repro.analysis.render import (
     render_clearing_table,
     render_provider_table,

@@ -6,7 +6,6 @@ who wins, rough factors, orderings, and percentage bands.
 
 import pytest
 
-import repro
 from repro.analysis.classify import ValidationClass
 from repro.analysis.tables import (
     parking_summary,
@@ -160,7 +159,8 @@ def validation(reference_run, ipv6_run):
 
 
 def test_validation_class_ordering_v4(validation):
-    get = lambda cls: validation[cls]["ipv4"].domains
+    def get(cls):
+        return validation[cls]["ipv4"].domains
     assert get(ValidationClass.NO_MIRRORING) > get(ValidationClass.UNDERCOUNT)
     assert get(ValidationClass.UNDERCOUNT) > get(ValidationClass.REMARK_ECT1)
     assert get(ValidationClass.REMARK_ECT1) > get(ValidationClass.CAPABLE)

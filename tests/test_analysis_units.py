@@ -16,7 +16,6 @@ from repro.analysis.classify import (
     tcp_group,
     validation_class,
 )
-from repro.core.counters import EcnCounts
 from repro.core.validation import ValidationOutcome
 from repro.quic.connection import QuicConnectionResult
 from repro.scanner.results import DomainObservation

@@ -1,6 +1,5 @@
 """AS database (prefix trie + as2org), DNS resolver, HTTP messages."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.asdb.as2org import AsOrgMap

@@ -1,6 +1,5 @@
 """ECN codepoint encoding (RFC 3168 bit layout)."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.codepoints import DSCP_MASK, ECN, dscp_from_tos, ecn_from_tos, tos_with_ecn

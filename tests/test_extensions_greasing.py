@@ -1,6 +1,5 @@
 """ECN greasing (paper §9.3) — client mechanics and the visibility study."""
 
-import pytest
 
 from repro.core.codepoints import ECN
 from repro.extensions.greasing import run_greasing_study

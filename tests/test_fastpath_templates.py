@@ -141,8 +141,15 @@ def test_impairing_path_mutates_only_per_hop_clones():
     template = _initial_packet(QuicVersion.V1, DCID, SCID, 0)
     path = NetworkPath(
         hops=[
-            Router(name="bleach", asn=1299, address="192.0.2.250", ecn_action=EcnAction.BLEACH_TOS),
-            Router(name="ce", asn=1299, address="192.0.2.251", ecn_action=EcnAction.CE_MARK_ALL),
+            Router(
+                name="bleach",
+                asn=1299,
+                address="192.0.2.250",
+                ecn_action=EcnAction.BLEACH_TOS,
+            ),
+            Router(
+                name="ce", asn=1299, address="192.0.2.251", ecn_action=EcnAction.CE_MARK_ALL
+            ),
         ]
     )
     packet = IpPacket(

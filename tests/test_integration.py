@@ -1,10 +1,9 @@
 """End-to-end integration: determinism, cross-validation, headline claims."""
 
-import pytest
 
 import repro
 from repro.analysis.classify import ValidationClass, validation_class
-from repro.analysis.tables import table1, table5
+from repro.analysis.tables import table1
 from repro.core.validation import ValidationOutcome
 from repro.web.spec import WorldConfig
 

@@ -1,6 +1,5 @@
 """L4S dual-queue, congestion controllers, and the §9.3 experiment."""
 
-import pytest
 
 from repro.core.codepoints import ECN
 from repro.l4s.aqm import DualQueueAqm

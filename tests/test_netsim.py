@@ -7,14 +7,16 @@ from repro.core.codepoints import ECN
 from repro.netsim.clock import Clock
 from repro.netsim.hops import EcnAction, IcmpPolicy, Router
 from repro.netsim.network import Network, PathTemplate
-from repro.netsim.packet import FlowKey, IpPacket, UdpPayload, make_tcp_packet, make_udp_packet
+from repro.netsim.packet import FlowKey, IpPacket, make_tcp_packet, make_udp_packet
 from repro.netsim.path import NetworkPath
 from repro.util.rng import RngStream
 from repro.util.weeks import Week
 
 
 def make_router(name="r", asn=100, action=EcnAction.PASS, **kwargs) -> Router:
-    return Router(name=name, asn=asn, address=f"10.0.0.{asn % 250}", ecn_action=action, **kwargs)
+    return Router(
+        name=name, asn=asn, address=f"10.0.0.{asn % 250}", ecn_action=action, **kwargs
+    )
 
 
 def rng() -> RngStream:

@@ -2,7 +2,6 @@
 
 import pytest
 
-import repro
 from repro.pipeline.toplists import list_sizes, merged_toplist_domains, toplist_membership
 from repro.pipeline.vantage import forwarded_targets, run_distributed
 from repro.util.weeks import Week

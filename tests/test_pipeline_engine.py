@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import dataclasses
 
-import pytest
 
 import repro
 from repro.core.codepoints import ECN

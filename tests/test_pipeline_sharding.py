@@ -116,7 +116,9 @@ def test_campaign_with_shards_matches_unsharded_per_site():
     world_a, world_b = _build(), _build()
     weeks = [world_a.config.start_week, world_a.config.reference_week]
     runs = world_a.scan_engine().run_weeks(weeks, site_rng="per-site")
-    campaign = repro.run_campaign(world_b, weeks=weeks, shards=2, populations=("cno", "toplist"))
+    campaign = repro.run_campaign(
+        world_b, weeks=weeks, shards=2, populations=("cno", "toplist")
+    )
     for reference, run in zip(runs, campaign.runs):
         _assert_runs_equal(reference, run)
     assert world_a.clock.now == world_b.clock.now

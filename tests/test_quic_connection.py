@@ -1,6 +1,5 @@
 """Client connection against emulated stacks over a loopback wire."""
 
-import pytest
 
 from repro.core.codepoints import ECN
 from repro.core.validation import ValidationConfig, ValidationOutcome

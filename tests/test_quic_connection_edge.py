@@ -1,9 +1,7 @@
 """Connection edge cases: loss, retransmission, fuzzing, dedup."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.codepoints import ECN
 from repro.core.validation import ValidationOutcome
 from repro.http.messages import HttpRequest, HttpResponse
 from repro.netsim.clock import Clock

@@ -47,7 +47,8 @@ def test_varint_roundtrip(value):
 
 
 @pytest.mark.parametrize(
-    "value,length", [(0, 1), (63, 1), (64, 2), (16383, 2), (16384, 4), (2**30 - 1, 4), (2**30, 8)]
+    "value,length",
+    [(0, 1), (63, 1), (64, 2), (16383, 2), (16384, 4), (2**30 - 1, 4), (2**30, 8)],
 )
 def test_varint_boundary_lengths(value, length):
     assert varint_length(value) == length

@@ -6,7 +6,7 @@ from repro.core.codepoints import ECN
 from repro.core.validation import ValidationOutcome
 from repro.quic.versions import QuicVersion
 from repro.scanner.quic_scan import QuicScanConfig, scan_site_quic
-from repro.scanner.tcp_scan import TcpScanConfig, scan_site_tcp
+from repro.scanner.tcp_scan import scan_site_tcp
 from repro.util.weeks import Week
 
 

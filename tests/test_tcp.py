@@ -1,6 +1,5 @@
 """TCP ECN: negotiation, ECE mirroring, profiles, counters."""
 
-import pytest
 
 from repro.core.codepoints import ECN
 from repro.http.messages import HttpRequest, HttpResponse

@@ -3,8 +3,6 @@
 import pytest
 
 import repro
-from repro.tcp.profiles import TcpProfile
-from repro.util.weeks import Week
 from repro.web.providers import default_providers, default_vantages
 from repro.web.spec import WorldConfig
 from repro.web.world import ADOPTION_FULL_WEEK, ADOPTION_START_SHARE

@@ -1,6 +1,5 @@
 """Whole-world consistency: quotas realized, routes complete, DNS sane."""
 
-import pytest
 
 from repro.tcp.profiles import TcpProfile
 from repro.web.providers import default_providers
