@@ -35,6 +35,14 @@ class AsOrgMap:
             seen.add(org)
         return org
 
+    def entries(self) -> list[tuple[int, str]]:
+        """All (asn, org) rows as added (for serialisation)."""
+        return sorted(self._org_by_asn.items())
+
+    def merges(self) -> list[tuple[str, str]]:
+        """All (alias, canonical) merge rows (for serialisation)."""
+        return sorted(self._canonical.items())
+
     def asns_for(self, org: str) -> list[int]:
         return sorted(
             asn for asn in self._org_by_asn if self.org_for(asn) == org

@@ -14,6 +14,7 @@ Commands mirror the measurement phases of the paper:
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 
 import repro
@@ -35,28 +36,69 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
         help="world scale: 1 simulated domain = SCALE real domains",
     )
     parser.add_argument("--seed", type=int, default=20230415)
+    parser.add_argument(
+        "--world-cache",
+        metavar="DIR",
+        default=None,
+        help="snapshot cache directory: the built world is stored as a "
+             "compact snapshot keyed on its config/spec fingerprint and "
+             "rehydrated on later runs instead of being rebuilt "
+             "(docs/architecture.md#world-lifecycle)",
+    )
 
 
 def _build_world(args) -> "repro.World":
-    return repro.build_world(WorldConfig(scale=args.scale, seed=args.seed))
+    config = WorldConfig(scale=args.scale, seed=args.seed)
+    cache_dir = getattr(args, "world_cache", None)
+    if cache_dir is None:
+        # One-shot process, no cache to warm: skip the snapshot layer
+        # (encoding the world would cost ~12% of the build for nothing).
+        return repro.build_world(config)
+    from repro.web.snapshot import acquire_world
+
+    world, _source = acquire_world(config, cache_dir=cache_dir)
+    return world
+
+
+#: Accepted ``--week`` syntax: ISO week like ``2023-W15`` (case-tolerant).
+_WEEK_RE = re.compile(r"(\d{4})-[Ww](\d{1,2})")
 
 
 def _parse_week(text: str) -> Week:
-    year, week = text.split("-W")
-    return Week(int(year), int(week))
+    """argparse type for ``--week``: a validated ISO week.
+
+    Raising :class:`argparse.ArgumentTypeError` makes argparse print a
+    usage-style error and exit 2 — malformed weeks like ``2023-15`` or
+    ``2023W15`` used to escape as a bare ``ValueError`` traceback.
+    """
+    match = _WEEK_RE.fullmatch(text.strip())
+    if match is None:
+        raise argparse.ArgumentTypeError(
+            f"invalid week {text!r}: expected an ISO week like 2023-W15"
+        )
+    year, week = int(match.group(1)), int(match.group(2))
+    if not 1 <= week <= 53:
+        raise argparse.ArgumentTypeError(
+            f"invalid week {text!r}: week number must be in 1..53"
+        )
+    return Week(year, week)
 
 
 def _cmd_scan(args) -> int:
     world = _build_world(args)
-    week = _parse_week(args.week) if args.week else world.config.reference_week
+    week = args.week if args.week else world.config.reference_week
     run = repro.run_weekly_scan(
         world, week, run_tracebox=not args.no_tracebox, backend=args.backend
     )
     ipv6 = None
     if args.ipv6:
+        # An explicit --week applies to both families; only the default
+        # diverges (the paper's IPv6 measurement ran in a different
+        # week than the IPv4 reference snapshot, §6.2).
+        ipv6_week = args.week if args.week else world.config.ipv6_week
         ipv6 = repro.run_weekly_scan(
             world,
-            world.config.ipv6_week,
+            ipv6_week,
             ip_version=6,
             populations=("cno",),
             backend=args.backend,
@@ -102,7 +144,7 @@ def _cmd_distributed(args) -> int:
 
 def _cmd_trace(args) -> int:
     world = _build_world(args)
-    week = _parse_week(args.week) if args.week else world.config.reference_week
+    week = args.week if args.week else world.config.reference_week
     sites = [
         s
         for s in world.sites
@@ -166,7 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     scan = sub.add_parser("scan", help="weekly scan; prints Tables 1-7")
     _add_world_args(scan)
-    scan.add_argument("--week", help="ISO week like 2023-W15")
+    scan.add_argument(
+        "--week",
+        type=_parse_week,
+        help="ISO week like 2023-W15 (applies to the IPv4 and, when "
+             "given, the --ipv6 leg; defaults are the reference week "
+             "and the IPv6 measurement week respectively)",
+    )
     scan.add_argument("--ipv6", action="store_true", help="add the IPv6 run")
     scan.add_argument("--no-tracebox", action="store_true")
     scan.add_argument(
@@ -221,7 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_args(trace)
     trace.add_argument("--provider", required=True)
     trace.add_argument("--group")
-    trace.add_argument("--week")
+    trace.add_argument("--week", type=_parse_week, help="ISO week like 2023-W15")
     trace.set_defaults(func=_cmd_trace)
 
     l4s = sub.add_parser("l4s", help="§9.3 L4S re-marking experiment")

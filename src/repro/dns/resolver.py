@@ -27,11 +27,21 @@ class DnsRecord:
 
 
 class Resolver:
-    """Domain -> record store with per-vantage overrides."""
+    """Domain -> record store with per-vantage overrides.
+
+    Records can be added eagerly (:meth:`add`) or derived on demand by a
+    *fallback* (:meth:`set_fallback`): a callable consulted on a lookup
+    miss, whose non-None answers are memoised.  The world builder uses
+    the fallback as a lazy DNS section — zone records are a pure
+    function of the domain/site tables, so they need not be materialised
+    until something actually resolves them.  Explicit records and
+    per-vantage overrides always win over the fallback.
+    """
 
     def __init__(self) -> None:
         self._records: dict[str, DnsRecord] = {}
         self._overrides: dict[tuple[str, str], DnsRecord] = {}
+        self._fallback = None
 
     # ------------------------------------------------------------------
     def add(self, domain: str, record: DnsRecord) -> None:
@@ -41,6 +51,10 @@ class Resolver:
         """Install a geo-specific answer for one vantage point."""
         self._overrides[(vantage_id, domain)] = record
 
+    def set_fallback(self, fallback) -> None:
+        """Install the lazy-derivation hook (``fallback(domain) -> DnsRecord | None``)."""
+        self._fallback = fallback
+
     # ------------------------------------------------------------------
     def resolve(self, domain: str, *, vantage_id: str | None = None) -> DnsRecord | None:
         """Full record set for ``domain`` as seen from ``vantage_id``."""
@@ -48,7 +62,12 @@ class Resolver:
             override = self._overrides.get((vantage_id, domain))
             if override is not None:
                 return override
-        return self._records.get(domain)
+        record = self._records.get(domain)
+        if record is None and self._fallback is not None:
+            record = self._fallback(domain)
+            if record is not None:
+                self._records[domain] = record
+        return record
 
     def resolve_address(
         self, domain: str, *, family: int = 4, vantage_id: str | None = None

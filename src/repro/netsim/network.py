@@ -76,12 +76,20 @@ class _RouteEntry:
 
 
 class Network:
-    """Routing fabric keyed by (vantage id, destination group id)."""
+    """Routing fabric keyed by (vantage id, destination group id).
+
+    Routes may be installed eagerly via :meth:`register` or supplied by
+    a *section loader* (:meth:`set_section_loader`): a callable invoked
+    on a lookup miss with the vantage id, expected to register that
+    vantage's routes and return True if it materialised anything.  The
+    hook only runs on misses, so materialised routes pay no overhead.
+    """
 
     def __init__(self, clock: Clock, rng: RngStream):
         self.clock = clock
         self.rng = rng
         self._routes: dict[tuple[str, str], _RouteEntry] = {}
+        self._section_loader = None
 
     # ------------------------------------------------------------------
     def register(
@@ -96,11 +104,25 @@ class Network:
         entry = self._routes.setdefault((vantage_id, group_id), _RouteEntry())
         entry.add(start, template)
 
+    def set_section_loader(self, loader) -> None:
+        """Install the lazy route-section hook (``loader(vantage_id) -> bool``)."""
+        self._section_loader = loader
+
+    def _load_section(self, vantage_id: str) -> bool:
+        loader = self._section_loader
+        return loader is not None and loader(vantage_id)
+
     def has_route(self, vantage_id: str, group_id: str) -> bool:
-        return (vantage_id, group_id) in self._routes
+        if (vantage_id, group_id) in self._routes:
+            return True
+        if self._load_section(vantage_id):
+            return (vantage_id, group_id) in self._routes
+        return False
 
     def template_for(self, vantage_id: str, group_id: str, week: Week) -> PathTemplate:
         entry = self._routes.get((vantage_id, group_id))
+        if entry is None and self._load_section(vantage_id):
+            entry = self._routes.get((vantage_id, group_id))
         if entry is None:
             raise KeyError(f"no route from {vantage_id!r} to {group_id!r}")
         return entry.at(week)

@@ -141,6 +141,13 @@ def run_campaign(
             executor=shard_executor,
             exchange_cache=exchange_cache,
         )
+    # Materialise the lazy world sections the series will touch before
+    # any timed phase runs: the site-phase/attribution split in
+    # ``phase_stats`` then measures scanning, not one-off section
+    # construction (route building for this vantage, the per-site
+    # ASN/org walk).
+    world.ensure_site_attribution()
+    world.ensure_routes(vantage_id)
     campaign = Campaign()
     try:
         for run in engine.run_weeks(

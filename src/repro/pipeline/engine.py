@@ -240,6 +240,9 @@ class ScanEngine:
 
     def _build_plan(self, ip_version: int, populations: tuple[str, ...]) -> ScanPlan:
         world = self.world
+        # Attribution is a lazy world section; the plan bakes Site.org
+        # into its protos, so materialise it before the first walk.
+        world.ensure_site_attribution()
         resolve = world.resolver.resolve_address
         site_by_ip = world.site_by_ip
         protos: list[tuple] = []

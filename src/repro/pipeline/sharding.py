@@ -23,9 +23,10 @@ inherited by reference snapshot instead of being pickled; only the
 per-shard event lists travel to workers, and results travel back as
 **one codec buffer per shard** (:mod:`repro.store.codec`) — flat
 varint-packed bytes instead of a pickled object list, decoded centrally
-before the merge.  Build the world completely before the first sharded
-run and call :meth:`close` (or use the engine as a context manager)
-when done.
+before the merge.  Lazy world sections the shard needs (the vantage's
+routes) are materialised before the pool forks; mutate the world only
+before the first sharded run, and call :meth:`close` (or use the engine
+as a context manager) when done.
 """
 
 from __future__ import annotations
@@ -150,6 +151,11 @@ class ShardedScanEngine(ScanEngine):
                 ):
                     merged[(entry[0], entry[1])] = (entry[2], entry[3])
         else:
+            # Materialise this vantage's lazy route section before the
+            # pool (possibly) forks: workers inherit the world by
+            # reference snapshot, so a section built pre-fork is shared,
+            # one built post-fork would be rebuilt per worker.
+            self.world.ensure_routes(vantage_id)
             pool = self._ensure_pool()
             payloads = [
                 (shards[i], week, vantage_id, ip_version, quic_config, tcp_config)

@@ -77,8 +77,13 @@ _T_HAS_SERVER = 1 << 5
 _T_HAS_ERROR = 1 << 6
 
 
-class _StringTable:
-    """Deduplicating encode-side string pool."""
+class StringTable:
+    """Deduplicating encode-side string pool.
+
+    Shared codec primitive: shard-result buffers and world snapshots
+    (:mod:`repro.web.snapshot`) both marshal repeated strings as varint
+    references into one table written ahead of the entries.
+    """
 
     __slots__ = ("strings", "index")
 
@@ -95,7 +100,28 @@ class _StringTable:
         return ref
 
 
-def _encode_quic(result: QuicConnectionResult, out: bytearray, table: _StringTable) -> None:
+def encode_string_table(table: StringTable) -> bytes:
+    """Marshal a string table: count, then length-prefixed UTF-8 entries."""
+    out = bytearray(encode_varint(len(table.strings)))
+    for value in table.strings:
+        raw = value.encode("utf-8")
+        out += encode_varint(len(raw))
+        out += raw
+    return bytes(out)
+
+
+def decode_string_table(buf: bytes, offset: int) -> tuple[list[str], int]:
+    """Inverse of :func:`encode_string_table`; returns (strings, offset)."""
+    string_count, offset = decode_varint(buf, offset)
+    strings: list[str] = []
+    for _ in range(string_count):
+        length, offset = decode_varint(buf, offset)
+        strings.append(buf[offset : offset + length].decode("utf-8"))
+        offset += length
+    return strings, offset
+
+
+def _encode_quic(result: QuicConnectionResult, out: bytearray, table: StringTable) -> None:
     flags = 0
     if result.connected:
         flags |= _Q_CONNECTED
@@ -224,7 +250,7 @@ def _decode_quic(
     return result, offset
 
 
-def _encode_tcp(outcome: TcpScanOutcome, out: bytearray, table: _StringTable) -> None:
+def _encode_tcp(outcome: TcpScanOutcome, out: bytearray, table: StringTable) -> None:
     flags = 0
     if outcome.connected:
         flags |= _T_CONNECTED
@@ -309,7 +335,7 @@ def encode_shard_results(
     ``(hits, misses, uncacheable)`` counters), deduplicated string
     table, then the packed entries.  ``elapsed`` round-trips bit-exactly.
     """
-    table = _StringTable()
+    table = StringTable()
     body = bytearray()
     for site_index, kind, result, elapsed in entries:
         body += encode_varint(site_index)
@@ -330,11 +356,7 @@ def encode_shard_results(
     out = bytearray(MAGIC)
     for counter in cache_stats:
         out += encode_varint(counter)
-    out += encode_varint(len(table.strings))
-    for value in table.strings:
-        raw = value.encode("utf-8")
-        out += encode_varint(len(raw))
-        out += raw
+    out += encode_string_table(table)
     out += encode_varint(len(entries))
     out += body
     return bytes(out)
@@ -350,12 +372,7 @@ def decode_shard_payload(
     hits, offset = decode_varint(buf, offset)
     misses, offset = decode_varint(buf, offset)
     uncacheable, offset = decode_varint(buf, offset)
-    string_count, offset = decode_varint(buf, offset)
-    strings: list[str] = []
-    for _ in range(string_count):
-        length, offset = decode_varint(buf, offset)
-        strings.append(buf[offset : offset + length].decode("utf-8"))
-        offset += length
+    strings, offset = decode_string_table(buf, offset)
     entry_count, offset = decode_varint(buf, offset)
     entries: list[tuple[int, int, object, float]] = []
     for _ in range(entry_count):

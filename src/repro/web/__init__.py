@@ -7,6 +7,12 @@ packets, exactly like the paper's measurement pipeline observed the real
 Internet.
 """
 
+from repro.web.snapshot import (
+    acquire_world,
+    decode_world,
+    encode_world,
+    world_fingerprint,
+)
 from repro.web.spec import (
     HostGroupSpec,
     ProviderSpec,
@@ -25,5 +31,9 @@ __all__ = [
     "Domain",
     "Site",
     "World",
+    "acquire_world",
     "build_world",
+    "decode_world",
+    "encode_world",
+    "world_fingerprint",
 ]

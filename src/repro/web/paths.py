@@ -83,11 +83,30 @@ def _router(
     )
 
 
-class RouteBuilder:
-    """Builds route templates for (vantage, profile, provider) triples."""
+#: Router-address block reserved per route section (one section = one
+#: vantage point).  Sections allocate from disjoint counter ranges so
+#: lazily materialised sections mint the same addresses regardless of
+#: the order anything touches them.
+ADDR_BLOCK = 4096
 
-    def __init__(self) -> None:
-        self._addr_counter = 0
+
+class RouteBuilder:
+    """Builds route templates for (vantage, profile, provider) triples.
+
+    ``start`` offsets the router-address counter: each lazily built
+    route section gets its own :class:`RouteBuilder` with a disjoint
+    base (``section_index * ADDR_BLOCK``), making every router address
+    a pure function of the section — not of materialisation order.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._start = start
+        self._addr_counter = start
+
+    @property
+    def addresses_minted(self) -> int:
+        """How many router addresses this builder has handed out."""
+        return self._addr_counter - self._start
 
     def _addr(self) -> str:
         self._addr_counter += 1
@@ -96,7 +115,10 @@ class RouteBuilder:
 
     def _addr6(self) -> str:
         self._addr_counter += 1
-        return f"2001:db8:ffff::{self._addr_counter:x}"
+        value = self._addr_counter
+        # Two 16-bit groups: a single ``{value:x}`` group overflows the
+        # 4-hex-digit limit once a section base passes 0xFFFF.
+        return f"2001:db8:ffff::{(value >> 16) & 0xFFFF:x}:{value & 0xFFFF:x}"
 
     # ------------------------------------------------------------------
     def _first_mile(self, vantage: VantageSpec, v6: bool) -> list[Router]:

@@ -109,6 +109,10 @@ class WorldConfig:
     ipv6_week: Week = Week(2023, 13)  # IPv6 measurement week (§6.2)
     tcp_week: Week = Week(2023, 20)  # TCP-vs-QUIC week (§6.3)
 
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale!r}")
+
     def quota(self, paper_count: float, *, min_one: bool = True) -> int:
         """Scale a paper count down to a simulated count.
 

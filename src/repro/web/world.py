@@ -26,6 +26,7 @@ from repro.tcp.server import TcpServerStack
 from repro.util.rng import RngStream, stable_hash
 from repro.util.weeks import Week, week_range
 from repro.web.paths import (
+    ADDR_BLOCK,
     AS_ARELION,
     AS_AWS,
     AS_COGENT,
@@ -107,7 +108,25 @@ class SitePolicy:
 
 
 class World:
-    """A fully built synthetic Internet."""
+    """A fully built synthetic Internet.
+
+    Several expensive parts of the world are **lazy sections**,
+    materialised on first touch and identical whether the world came
+    from :func:`build_world` or from a snapshot
+    (:mod:`repro.web.snapshot`):
+
+    * **routes** — one section per vantage point, built by a
+      :class:`~repro.web.paths.RouteBuilder` on the first route lookup
+      from that vantage (:meth:`ensure_routes`; router addresses are a
+      pure function of the section, not of materialisation order);
+    * **DNS records** — derived per domain from the domain/site tables
+      on the first resolve (the resolver fallback, memoised);
+    * **site attribution** — the per-site ASN/org trie walk, run once
+      before the first scan plan (:meth:`ensure_site_attribution`);
+    * **responses / policies** — per-site canned responses and
+      per-(site, vantage) policies, memoised on the first exchange that
+      touches the site (:meth:`site_response` / :meth:`site_policy`).
+    """
 
     def __init__(
         self,
@@ -117,6 +136,9 @@ class World:
         overrides: list[VantageOverrideSpec],
     ):
         self.config = config
+        self.provider_list = list(providers)
+        self.vantage_list = list(vantages)
+        self.override_list = list(overrides)
         self.providers = {p.name: p for p in providers}
         self.vantages = {v.vantage_id: v for v in vantages}
         self.clock = Clock()
@@ -128,8 +150,8 @@ class World:
         self.prefixes = PrefixTree()
         self.sites: list[Site] = []
         self.domains: list[Domain] = []
-        #: Per-site indices into ``domains`` (the attribution fan-out lists).
-        self.site_domains: list[list[int]] = []
+        self._site_domains: list[list[int]] | None = None
+        self._site_domains_count = -1
         self._sites_by_ip: dict[str, Site] = {}
         self._overrides: dict[tuple[str, str, str], list[VantageOverrideSpec]] = {}
         self._policy_cache: dict[tuple[int, str], SitePolicy] = {}
@@ -138,10 +160,41 @@ class World:
         for override in overrides:
             key = (override.vantage_id, override.provider, override.group_key)
             self._overrides.setdefault(key, []).append(override)
+        # Lazy sections: every vantage's routes start pending; DNS
+        # records derive on demand; attribution is marked stale by the
+        # populate step.
+        self._pending_route_sections: dict[str, int] = {
+            vantage.vantage_id: index
+            for index, vantage in enumerate(self.vantage_list)
+        }
+        self._route_ranks: dict[tuple[str, str], float] | None = None
+        self._attribution_stale = False
+        self._domain_name_index: dict[str, int] | None = None
+        self._dns_indexed_count = -1
+        self.network.set_section_loader(self.ensure_routes)
+        self.resolver.set_fallback(self._derive_dns_record)
 
     # ------------------------------------------------------------------
     # Lookup helpers
     # ------------------------------------------------------------------
+    @property
+    def site_domains(self) -> list[list[int]]:
+        """Per-site indices into ``domains`` (the attribution fan-out lists).
+
+        A lazy section: a pure function of the domain table, derived on
+        first access and rebuilt if the table has grown since (tests
+        attach domains post-build).
+        """
+        cached = self._site_domains
+        if cached is None or self._site_domains_count != len(self.domains):
+            cached = [[] for _ in self.sites]
+            for index, domain in enumerate(self.domains):
+                if domain.site_index >= 0:
+                    cached[domain.site_index].append(index)
+            self._site_domains = cached
+            self._site_domains_count = len(self.domains)
+        return cached
+
     def site_by_ip(self, ip: str) -> Site | None:
         return self._sites_by_ip.get(ip)
 
@@ -227,22 +280,92 @@ class World:
         )
 
     # ------------------------------------------------------------------
-    # Week-invariant site attribution (filled by build_world)
+    # Lazy sections: routes, DNS, attribution
     # ------------------------------------------------------------------
+    def ensure_routes(self, vantage_id: str) -> bool:
+        """Materialise the route section of one vantage point.
+
+        Installed as the network's section loader, so any route lookup
+        miss triggers it; call it directly to pre-materialise (the
+        sharded engine does, before forking workers).  Returns True if
+        the section was pending and is now built.
+        """
+        index = self._pending_route_sections.pop(vantage_id, None)
+        if index is None:
+            return False
+        vantage = self.vantages.get(vantage_id)
+        if vantage is None:  # pragma: no cover - defensive
+            return False
+        if self._route_ranks is None:
+            self._route_ranks = _remark_group_ranks(self.provider_list)
+        _register_vantage_routes(
+            self, vantage, self.provider_list, self._route_ranks,
+            base=index * ADDR_BLOCK,
+        )
+        return True
+
+    def ensure_all_routes(self) -> None:
+        """Materialise every pending route section (distributed runs)."""
+        for vantage_id in list(self._pending_route_sections):
+            self.ensure_routes(vantage_id)
+
+    def _derive_dns_record(self, name: str) -> DnsRecord | None:
+        """The resolver's lazy section: derive one domain's zone record.
+
+        Records are a pure function of the domain/site tables
+        (:func:`dns_record_for`), so nothing is materialised at build
+        time; the resolver memoises every non-None answer.  The
+        name index rebuilds when the domain table grows (tests attach
+        domains post-build).
+        """
+        index = self._domain_name_index
+        if index is None or self._dns_indexed_count != len(self.domains):
+            index = {domain.name: i for i, domain in enumerate(self.domains)}
+            self._domain_name_index = index
+            self._dns_indexed_count = len(self.domains)
+        domain_index = index.get(name)
+        if domain_index is None:
+            return None
+        domain = self.domains[domain_index]
+        if domain.site_index < 0:
+            return None
+        return dns_record_for(domain, self.sites[domain.site_index])
+
+    def section_state(self) -> dict[str, object]:
+        """Which lazy sections are still pending (introspection/tests)."""
+        return {
+            "pending_route_sections": sorted(self._pending_route_sections),
+            "attribution_stale": self._attribution_stale,
+            "dns_records_materialised": self.resolver.known_domains(),
+        }
+
+    # ------------------------------------------------------------------
+    # Week-invariant site attribution (lazy; see ensure_site_attribution)
+    # ------------------------------------------------------------------
+    def ensure_site_attribution(self) -> None:
+        """Materialise per-site ASN/org if the section is still stale.
+
+        The scan engine calls this before building a plan; small
+        workloads that never plan a scan (single traces, greasing
+        subsets) skip the full per-site trie walk entirely.
+        """
+        if self._attribution_stale:
+            self.refresh_site_attribution()
+
     def refresh_site_attribution(self) -> None:
         """(Re)compute per-site ASN and organisation.
 
-        Runs once at world build — one prefix-trie walk per *site*
-        instead of one per domain per weekly scan.  Call again after
-        mutating ``prefixes`` or ``asorg`` post-build: the scan engine
-        bakes ``Site.org`` into its cached plans, so those are
-        invalidated here too.
+        One prefix-trie walk per *site* instead of one per domain per
+        weekly scan.  Call again after mutating ``prefixes`` or
+        ``asorg`` post-build: the scan engine bakes ``Site.org`` into
+        its cached plans, so those are invalidated here too.
         """
         lookup = self.prefixes.lookup
         org_for = self.asorg.org_for
         for site in self.sites:
             site.asn = lookup(site.ip)
             site.org = org_for(site.asn)
+        self._attribution_stale = False
         if self._scan_engine is not None:
             self._scan_engine.invalidate()
 
@@ -311,8 +434,11 @@ def build_world(
     _populate_asdb(world, providers)
     _populate_sites_and_domains(world, providers)
     _populate_unresolved(world)
-    _register_routes(world, providers, vantages)
-    world.refresh_site_attribution()
+    # Routes, DNS records and site attribution are lazy sections —
+    # nothing more to do here; they materialise on first touch (and a
+    # snapshot rehydrate lands in exactly this state, which is what
+    # makes the two worlds golden-identical).
+    world._attribution_stale = True
     return world
 
 
@@ -371,7 +497,6 @@ def _populate_sites_and_domains(world: World, providers: list[ProviderSpec]) -> 
                     group_site_count=n_sites,
                 )
                 world.sites.append(site)
-                world.site_domains.append([])
                 world._sites_by_ip[ip] = site
                 if ipv6:
                     world._sites_by_ip[ipv6] = site
@@ -428,21 +553,22 @@ def _add_domains(
 
 
 def _attach_domain(world: World, domain: Domain, site: Site) -> None:
-    """The one place a domain joins a site: record list, fan-out binding,
-    DNS — so ``site_domains`` can never drift from ``domains``."""
+    """The one place a domain joins a site.  Neither the fan-out binding
+    (``site_domains``) nor the zone record is materialised here — both
+    are lazy sections derived from exactly these tables
+    (:attr:`World.site_domains`, :func:`dns_record_for`), so they can
+    never drift from ``domains``."""
     world.domains.append(domain)
-    world.site_domains[site.index].append(len(world.domains) - 1)
-    _register_dns(world, domain, site)
 
 
-def _register_dns(world: World, domain: Domain, site: Site) -> None:
-    record = DnsRecord(
+def dns_record_for(domain: Domain, site: Site) -> DnsRecord:
+    """The zone record of one attached domain (pure function of the tables)."""
+    return DnsRecord(
         a=site.ip,
         aaaa=site.ipv6 if domain.has_aaaa else None,
         cname="parking.example" if domain.parked else None,
         ns=("ns1.parkingcrew.example",) if domain.parked else (),
     )
-    world.resolver.add(domain.name, record)
 
 
 def _populate_unresolved(world: World) -> None:
@@ -493,24 +619,41 @@ def _remark_group_ranks(providers: list[ProviderSpec]) -> dict[tuple[str, str], 
     return ranks
 
 
-def _register_routes(
-    world: World, providers: list[ProviderSpec], vantages: list[VantageSpec]
+def _register_vantage_routes(
+    world: World,
+    vantage: VantageSpec,
+    providers: list[ProviderSpec],
+    ranks: dict[tuple[str, str], float],
+    *,
+    base: int = 0,
 ) -> None:
-    builder = RouteBuilder()
-    ranks = _remark_group_ranks(providers)
-    for vantage in vantages:
-        for provider in providers:
-            for group in provider.groups:
-                rank = ranks.get((provider.name, group.key), 0.0)
-                profile = effective_path_profile(vantage, group.path_profile, rank)
-                route_key = f"{provider.name}/{group.key}"
-                _register_route(world, builder, vantage, provider, profile, route_key)
-                if group.ipv6_domains > 0:
-                    v6_profile = group.ipv6_path_profile or "clean-v6"
-                    v6_profile = effective_path_profile(vantage, v6_profile, rank)
-                    _register_route(
-                        world, builder, vantage, provider, v6_profile, route_key + "/v6"
-                    )
+    """Build and register one vantage point's route section.
+
+    ``base`` anchors the section's router-address counter (each vantage
+    owns a disjoint :data:`~repro.web.paths.ADDR_BLOCK` range), so the
+    addresses a section mints do not depend on which sections were
+    materialised before it.
+    """
+    builder = RouteBuilder(start=base)
+    for provider in providers:
+        for group in provider.groups:
+            rank = ranks.get((provider.name, group.key), 0.0)
+            profile = effective_path_profile(vantage, group.path_profile, rank)
+            route_key = f"{provider.name}/{group.key}"
+            _register_route(world, builder, vantage, provider, profile, route_key)
+            if group.ipv6_domains > 0:
+                v6_profile = group.ipv6_path_profile or "clean-v6"
+                v6_profile = effective_path_profile(vantage, v6_profile, rank)
+                _register_route(
+                    world, builder, vantage, provider, v6_profile, route_key + "/v6"
+                )
+    if builder.addresses_minted > ADDR_BLOCK:
+        raise RuntimeError(
+            f"route section for {vantage.vantage_id!r} minted "
+            f"{builder.addresses_minted} router addresses, over the "
+            f"{ADDR_BLOCK}-address section block — sections would collide; "
+            "raise ADDR_BLOCK in repro.web.paths"
+        )
 
 
 def _register_route(

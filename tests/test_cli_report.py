@@ -106,3 +106,90 @@ def test_cli_scan_runs(capsys):
     out = capsys.readouterr().out
     assert "Table 1" in out
     assert "Table 5" in out
+
+
+# ----------------------------------------------------------------------
+# --week parsing (regression: malformed weeks used to escape as a bare
+# ``ValueError: not enough values to unpack`` traceback)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bad_week", ["2023-15", "2023W15", "W15", "2023-W", "15"])
+def test_cli_rejects_malformed_week_with_usage_error(capsys, bad_week):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["scan", "--week", bad_week])
+    assert excinfo.value.code == 2  # argparse usage error, not a traceback
+    err = capsys.readouterr().err
+    assert "invalid week" in err
+    assert "2023-W15" in err  # the error teaches the expected form
+
+
+def test_cli_rejects_out_of_range_week(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["scan", "--week", "2023-W54"])
+    assert excinfo.value.code == 2
+    assert "1..53" in capsys.readouterr().err
+
+
+def test_cli_accepts_valid_week_forms():
+    parser = build_parser()
+    args = parser.parse_args(["scan", "--week", "2023-W15"])
+    assert args.week == repro.Week(2023, 15)
+    args = parser.parse_args(["scan", "--week", "2022-w9"])
+    assert args.week == repro.Week(2022, 9)
+
+
+# ----------------------------------------------------------------------
+# --week applies to the IPv6 leg (regression: it always scanned the
+# configured ipv6_week, silently ignoring the user's week)
+# ----------------------------------------------------------------------
+def _capture_scan_weeks(monkeypatch):
+    calls = []
+
+    def fake_scan(world, week, vantage_id="main-aachen", **kwargs):
+        calls.append((week, kwargs.get("ip_version", 4)))
+        return object()
+
+    monkeypatch.setattr(repro, "run_weekly_scan", fake_scan)
+    import repro.cli as cli_module
+
+    monkeypatch.setattr(cli_module, "reference_report", lambda run, ipv6=None: "ok")
+    return calls
+
+
+def test_cli_scan_ipv6_leg_honours_explicit_week(monkeypatch, capsys):
+    calls = _capture_scan_weeks(monkeypatch)
+    assert main(["scan", "--scale", "40000", "--ipv6", "--week", "2023-W10"]) == 0
+    assert calls == [
+        (repro.Week(2023, 10), 4),
+        (repro.Week(2023, 10), 6),
+    ]
+
+
+def test_cli_scan_ipv6_leg_defaults_to_ipv6_week(monkeypatch, capsys):
+    calls = _capture_scan_weeks(monkeypatch)
+    assert main(["scan", "--scale", "40000", "--ipv6"]) == 0
+    from repro.web.spec import WorldConfig
+
+    config = WorldConfig()
+    assert calls == [
+        (config.reference_week, 4),
+        (config.ipv6_week, 6),
+    ]
+
+
+# ----------------------------------------------------------------------
+# --world-cache
+# ----------------------------------------------------------------------
+def test_cli_world_cache_persists_and_rehydrates(tmp_path, capsys):
+    from repro.web import snapshot
+
+    snapshot.clear_memory_cache()
+    args = ["scan", "--scale", "40000", "--no-tracebox",
+            "--world-cache", str(tmp_path)]
+    assert main(args) == 0
+    cold_out = capsys.readouterr().out
+    cached = list(tmp_path.glob("world-*.ecnw"))
+    assert len(cached) == 1
+    snapshot.clear_memory_cache()
+    assert main(args) == 0  # rehydrates from disk
+    assert capsys.readouterr().out == cold_out
+    snapshot.clear_memory_cache()

@@ -217,6 +217,13 @@ def test_cross_week_reuse_skips_unchanged_sites(monkeypatch):
 
 def test_world_site_attribution_materialised():
     world = repro.build_world(WorldConfig(scale=GOLDEN_SCALE))
+    # Attribution is a lazy section since the snapshot PR: sites carry
+    # no ASN/org until the section materialises (the engine ensures it
+    # before building its first plan).
+    assert world.section_state()["attribution_stale"]
+    assert all(site.asn is None for site in world.sites)
+    world.ensure_site_attribution()
+    assert not world.section_state()["attribution_stale"]
     for site in world.sites:
         assert site.asn == site.provider.asn
         assert site.org == world.asorg.org_for(site.provider.asn)
