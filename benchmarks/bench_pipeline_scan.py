@@ -316,22 +316,29 @@ def bench_campaign_forkpool(benchmark):
     """The fork-pool executor (4 shards, codec-marshalled results)."""
     world = _shared_world()
     durations: list[float] = []
+    supervision = ScanPhaseStats()
 
     def campaign():
         result, elapsed = _timed(
-            lambda: repro.run_campaign(world, shards=4, shard_executor="process")
+            lambda: repro.run_campaign(
+                world, shards=4, shard_executor="process", phase_stats=supervision
+            )
         )
         durations.append(elapsed)
         return result
 
     result = benchmark.pedantic(campaign, rounds=3, iterations=1)
     assert result.runs
+    # A clean bench run must never exercise the retry path: retries mean
+    # workers are dying (or timing out) on healthy input.
+    assert supervision.shard_retries == 0
     total_obs = sum(len(run.observations) for run in result.runs)
     best = min(durations)
     _record(
         campaign_forkpool_seconds=best,
         campaign_forkpool_shards=4,
         campaign_forkpool_domains_per_second=round(total_obs / best),
+        campaign_shard_retries=supervision.shard_retries,
     )
 
 
@@ -382,17 +389,22 @@ def run_full() -> None:
     print(f"campaign (4 shards): {sharded_best:.3f}s "
           f"({round(sharded_obs / sharded_best)} domains/s)")
 
+    supervision = ScanPhaseStats()
     forkpool, forkpool_best = _best_of(
-        lambda: repro.run_campaign(world, shards=4, shard_executor="process")
+        lambda: repro.run_campaign(
+            world, shards=4, shard_executor="process", phase_stats=supervision
+        )
     )
     forkpool_obs = sum(len(r.observations) for r in forkpool.runs)
     _record(
         campaign_forkpool_seconds=forkpool_best,
         campaign_forkpool_shards=4,
         campaign_forkpool_domains_per_second=round(forkpool_obs / forkpool_best),
+        campaign_shard_retries=supervision.shard_retries,
     )
     print(f"campaign (4 shards, fork pool): {forkpool_best:.3f}s "
-          f"({round(forkpool_obs / forkpool_best)} domains/s)")
+          f"({round(forkpool_obs / forkpool_best)} domains/s, "
+          f"{supervision.shard_retries} shard retries)")
     print(f"wrote {RESULTS_PATH}")
 
 
@@ -416,8 +428,11 @@ def _smoke_measure() -> dict:
     )
     campaign, campaign_best, _, cache_totals = _campaign_with_split(world)
     campaign_obs = sum(len(r.observations) for r in campaign.runs)
+    supervision = ScanPhaseStats()
     forkpool, forkpool_best = _best_of(
-        lambda: repro.run_campaign(world, shards=4, shard_executor="process")
+        lambda: repro.run_campaign(
+            world, shards=4, shard_executor="process", phase_stats=supervision
+        )
     )
     forkpool_obs = sum(len(r.observations) for r in forkpool.runs)
     print(f"smoke scan (scale {SMOKE_SCALE}): {scan_best:.4f}s "
@@ -427,7 +442,8 @@ def _smoke_measure() -> dict:
           f"{round(campaign_obs / campaign_best)} domains/s, cache hit rate "
           f"{cache_totals.exchange_cache_hit_rate:.3f})")
     print(f"smoke fork-pool campaign (scale {SMOKE_SCALE}): {forkpool_best:.3f}s "
-          f"({round(forkpool_obs / forkpool_best)} domains/s)")
+          f"({round(forkpool_obs / forkpool_best)} domains/s, "
+          f"{supervision.shard_retries} shard retries)")
     print(f"smoke world cache (scale {SMOKE_SCALE}): cold "
           f"{world_split['cold']:.3f}s, warm {world_split['warm']:.3f}s "
           f"({world_split['bytes']} snapshot bytes)")
@@ -449,6 +465,7 @@ def _smoke_measure() -> dict:
         "smoke_forkpool_seconds": forkpool_best,
         "smoke_forkpool_shards": 4,
         "smoke_forkpool_domains_per_second": round(forkpool_obs / forkpool_best),
+        "smoke_forkpool_retries": supervision.shard_retries,
     }
 
 
@@ -461,9 +478,13 @@ def run_smoke(check: bool) -> int:
     campaign* times are compared against the committed
     ``smoke_*_seconds`` baselines (a >2x regression on any fails), the
     campaign's exchange-cache hit rate must clear the committed
-    :data:`CACHE_HIT_RATE_FLOOR`, and warm world acquisition must be at
+    :data:`CACHE_HIT_RATE_FLOOR`, warm world acquisition must be at
     least :data:`WORLD_CACHE_SPEEDUP_FLOOR` times faster than a cold
-    build+snapshot.  Check runs are read-only — nothing on disk is
+    build+snapshot, and the fork-pool campaign must complete with
+    **zero shard retries** — on healthy input the supervised dispatch
+    path must behave exactly like the old blocking map, so any retry
+    means workers are dying or the shard timeout is misconfigured.
+    Check runs are read-only — nothing on disk is
     rewritten, so repeated local checks cannot ratchet the gate and no
     second, drift-prone copy of the bench file exists.
     """
@@ -501,6 +522,13 @@ def run_smoke(check: bool) -> int:
     if hit_rate < CACHE_HIT_RATE_FLOOR:
         print(f"FAIL: exchange-cache hit rate {hit_rate:.4f} below the "
               f"committed floor {CACHE_HIT_RATE_FLOOR:.2f}", file=sys.stderr)
+        status = 1
+    retries = metrics["smoke_forkpool_retries"]
+    print(f"smoke fork-pool shard retries: required 0, measured {retries}")
+    if retries != 0:
+        print(f"FAIL: clean fork-pool campaign needed {retries} shard "
+              "retries — workers are dying or timing out on healthy input",
+              file=sys.stderr)
         status = 1
     speedup = metrics["smoke_world_cold_seconds"] / max(
         metrics["smoke_world_warm_seconds"], 1e-9

@@ -111,6 +111,17 @@ def _cmd_campaign(args) -> int:
     if args.shards is None and args.shard_executor != "inline":
         print("--shard-executor requires --shards", file=sys.stderr)
         return 2
+    if args.shards is None and args.checkpoint_dir is not None:
+        print("--checkpoint-dir requires --shards", file=sys.stderr)
+        return 2
+    if args.shards is None and (
+        args.shard_timeout is not None or args.shard_retries is not None
+    ):
+        print("--shard-timeout/--shard-retries require --shards", file=sys.stderr)
+        return 2
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     world = _build_world(args)
     stats = ScanPhaseStats()
     campaign = repro.run_campaign(
@@ -121,6 +132,10 @@ def _cmd_campaign(args) -> int:
         backend=args.backend,
         exchange_cache=not args.no_exchange_cache,
         phase_stats=stats,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        shard_timeout=args.shard_timeout,
+        max_shard_retries=args.shard_retries,
     )
     print(longitudinal_report(campaign))
     attempts = stats.exchange_cache_hits + stats.exchange_cache_misses
@@ -130,6 +145,13 @@ def _cmd_campaign(args) -> int:
             f"{stats.exchange_cache_misses} misses / "
             f"{stats.exchange_cache_uncacheable} uncacheable "
             f"({100 * stats.exchange_cache_hit_rate:.1f}% hit rate)"
+        )
+    if stats.shard_retries or stats.shard_timeouts or stats.shard_failures:
+        print(
+            f"shard supervision: {stats.shard_retries} retries / "
+            f"{stats.shard_timeouts} timeouts / "
+            f"{stats.shard_failures} failures (run recovered; results "
+            f"are identical to a clean run)"
         )
     return 0
 
@@ -257,6 +279,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every site exchange fresh instead of replaying cached "
              "outcomes (the replay is byte-identical; this exists for "
              "timing comparisons and debugging)",
+    )
+    campaign.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="persist each completed week's results under DIR (atomic, "
+             "checksummed; requires --shards) so an interrupted campaign "
+             "can --resume without recomputing finished weeks",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="rehydrate weeks already checkpointed under --checkpoint-dir; "
+             "resumed campaigns are byte-identical to uninterrupted ones",
+    )
+    campaign.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt deadline for supervised process shards "
+             "(default 60; hung or crashed workers are retried, then "
+             "re-executed inline)",
+    )
+    campaign.add_argument(
+        "--shard-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pool re-dispatches per failed shard before the inline "
+             "fallback (default 2)",
     )
     campaign.set_defaults(func=_cmd_campaign)
 

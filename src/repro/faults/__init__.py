@@ -1,0 +1,9 @@
+"""Deterministic fault injection (tests, CI smoke, robustness docs)."""
+
+from repro.faults.plan import CRASH_EXIT_CODE, FaultPlan, InjectedFault
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FaultPlan",
+    "InjectedFault",
+]

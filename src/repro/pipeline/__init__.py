@@ -1,19 +1,29 @@
 """Measurement pipeline: weekly scans, campaigns, distributed vantages."""
 
 from repro.pipeline.campaign import Campaign, run_campaign
-from repro.pipeline.engine import ScanEngine, ScanPhaseStats, SiteResultCache
+from repro.pipeline.checkpoint import CampaignCheckpointer, campaign_checkpoint_key
+from repro.pipeline.engine import (
+    ScanEngine,
+    ScanPhaseStats,
+    ShardResultMissing,
+    SiteResultCache,
+)
 from repro.pipeline.runs import WeeklyRun, run_weekly_scan, run_weekly_scan_reference
-from repro.pipeline.sharding import ShardedScanEngine
+from repro.pipeline.sharding import ShardedScanEngine, SupervisionStats
 from repro.pipeline.toplists import merged_toplist_domains
 from repro.pipeline.vantage import VantageRun, run_distributed
 
 __all__ = [
     "Campaign",
+    "CampaignCheckpointer",
+    "campaign_checkpoint_key",
     "run_campaign",
     "ScanEngine",
     "ScanPhaseStats",
+    "ShardResultMissing",
     "ShardedScanEngine",
     "SiteResultCache",
+    "SupervisionStats",
     "WeeklyRun",
     "run_weekly_scan",
     "run_weekly_scan_reference",

@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.pipeline.engine import ShardResultMissing, SiteResultCache
 from repro.pipeline.runs import WeeklyRun
 from repro.util.weeks import Week
 from repro.web.world import World
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultPlan
     from repro.pipeline.engine import ScanPhaseStats
 
 
@@ -79,6 +82,11 @@ def run_campaign(
     backend: str = "store",
     phase_stats: "ScanPhaseStats | None" = None,
     exchange_cache: bool = True,
+    checkpoint_dir: "str | os.PathLike | None" = None,
+    resume: bool = False,
+    fault_plan: "FaultPlan | None" = None,
+    shard_timeout: float | None = None,
+    max_shard_retries: int | None = None,
 ) -> Campaign:
     """Scan the world repeatedly over the measurement period.
 
@@ -111,7 +119,48 @@ def run_campaign(
     replay cached outcomes byte-identically (:mod:`repro.exchange`).
     ``exchange_cache=False`` forces every exchange to run fresh (the
     golden tests compare the two).
+
+    ``checkpoint_dir`` makes the campaign crash-safe: every completed
+    week's site-phase entries persist atomically under that directory
+    (:mod:`repro.pipeline.checkpoint`), keyed by the world fingerprint
+    and campaign parameters.  With ``resume=True`` weeks whose
+    checkpoint verifies are rehydrated instead of recomputed; replayed
+    weeks are byte-identical to executed ones (records fill in the same
+    order, the clock sums the same floats), so an interrupted campaign
+    resumes to exactly the uninterrupted result.  Checkpointing
+    requires ``shards`` — only per-site RNG substreams survive skipping
+    weeks; the shared reference stream's position would diverge — and
+    is incompatible with ``reuse_site_results`` / ``run_tracebox``
+    (their effects live outside the checkpointed entries).  Shard count
+    and executor may differ between the original run and the resume.
+
+    ``shard_timeout`` / ``max_shard_retries`` tune the sharded engine's
+    worker supervision (docs/robustness.md); ``fault_plan`` injects
+    deterministic faults (tests only, :mod:`repro.faults`).
     """
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
+    if checkpoint_dir is not None:
+        if shards is None:
+            raise ValueError(
+                "checkpointing requires a sharded campaign (shards=N): only "
+                "per-site RNG substreams are valid across resumed weeks"
+            )
+        if reuse_site_results:
+            raise ValueError(
+                "checkpointing is incompatible with reuse_site_results: "
+                "cross-week reuse state lives outside the checkpointed entries"
+            )
+        if run_tracebox:
+            raise ValueError(
+                "checkpointing is incompatible with run_tracebox: trace "
+                "results are not part of the checkpointed site phase"
+            )
+    if shards is None and (shard_timeout is not None or max_shard_retries is not None):
+        raise ValueError(
+            "shard_timeout/max_shard_retries have no effect without shards; "
+            "pass shards=N to run a supervised sharded site phase"
+        )
     if weeks is None:
         weeks = []
         week = world.config.start_week
@@ -135,11 +184,31 @@ def run_campaign(
     else:
         from repro.pipeline.sharding import ShardedScanEngine
 
+        supervision = {}
+        if shard_timeout is not None:
+            supervision["shard_timeout"] = shard_timeout
+        if max_shard_retries is not None:
+            supervision["max_shard_retries"] = max_shard_retries
         engine = ShardedScanEngine(
             world,
             shards=shards,
             executor=shard_executor,
             exchange_cache=exchange_cache,
+            fault_plan=fault_plan,
+            **supervision,
+        )
+    checkpointer = None
+    if checkpoint_dir is not None:
+        from repro.pipeline.checkpoint import (
+            CampaignCheckpointer,
+            campaign_checkpoint_key,
+        )
+
+        key = campaign_checkpoint_key(
+            world, vantage_id=vantage_id, populations=populations
+        )
+        checkpointer = CampaignCheckpointer(
+            checkpoint_dir, key, fault_plan=fault_plan
         )
     # Materialise the lazy world sections the series will touch before
     # any timed phase runs: the site-phase/attribution split in
@@ -148,18 +217,48 @@ def run_campaign(
     # ASN/org walk).
     world.ensure_site_attribution()
     world.ensure_routes(vantage_id)
+    reuse = SiteResultCache() if reuse_site_results else None
     campaign = Campaign()
     try:
-        for run in engine.run_weeks(
-            weeks,
-            vantage_id,
-            populations=populations,
-            run_tracebox=run_tracebox,
-            reuse_site_results=reuse_site_results,
-            backend=backend,
-            phase_stats=phase_stats,
-        ):
+        for week in weeks:
+            replay_entries = (
+                checkpointer.load(week)
+                if checkpointer is not None and resume
+                else None
+            )
+            entry_sink = (
+                [] if checkpointer is not None and replay_entries is None else None
+            )
+            week_kwargs = dict(
+                populations=populations,
+                run_tracebox=run_tracebox,
+                reuse=reuse,
+                backend=backend,
+                phase_stats=phase_stats,
+            )
+            try:
+                run = engine.run_week(
+                    week,
+                    vantage_id,
+                    entry_sink=entry_sink,
+                    replay_entries=replay_entries,
+                    **week_kwargs,
+                )
+            except ShardResultMissing:
+                if replay_entries is None:
+                    raise
+                # The checkpoint verified its checksum but does not
+                # cover this week's schedule (e.g. written by a partial
+                # format) — recompute the week instead of trusting it.
+                entry_sink = []
+                run = engine.run_week(
+                    week, vantage_id, entry_sink=entry_sink, **week_kwargs
+                )
             campaign.add_run(run)
+            if checkpointer is not None and entry_sink is not None:
+                checkpointer.store(week, entry_sink)
+            if fault_plan is not None:
+                fault_plan.after_week(week)
     finally:
         if shards is not None:
             engine.close()

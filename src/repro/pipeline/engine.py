@@ -79,6 +79,40 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (world -> engine)
 QUIC_EVENT = 0
 TCP_EVENT = 1
 
+_KIND_NAMES = {QUIC_EVENT: "quic", TCP_EVENT: "tcp"}
+
+
+class ShardResultMissing(RuntimeError):
+    """A site-phase merge is missing results for scheduled events.
+
+    Raised by the central merge — sharded execution or checkpoint
+    replay — *before* any record is mutated, naming exactly which
+    ``(site_index, kind)`` entries are absent (and, when the caller
+    knows the partition, which shard owned them), instead of surfacing
+    as a bare ``KeyError`` mid-merge.
+    """
+
+    def __init__(
+        self,
+        missing: Sequence[tuple[int, int]],
+        *,
+        source: str = "site-phase merge",
+        shard_of=None,
+    ):
+        self.missing = tuple(missing)
+        shown = ", ".join(
+            f"(site {site_index}, {_KIND_NAMES.get(kind, kind)}"
+            + (f", shard {shard_of(site_index)}" if shard_of is not None else "")
+            + ")"
+            for site_index, kind in self.missing[:8]
+        )
+        if len(self.missing) > 8:
+            shown += f", ... {len(self.missing) - 8} more"
+        super().__init__(
+            f"{source} is missing {len(self.missing)} of the scheduled "
+            f"site-event results: {shown}"
+        )
+
 
 @dataclass(slots=True)
 class SitePlan:
@@ -161,6 +195,14 @@ class ScanPhaseStats:
     cache, ``uncacheable`` ran fresh because the path may draw
     randomness.  Fork-pool runs merge worker-side counters in before
     the site phase ends, so the split is executor-independent.
+
+    The ``shard_*`` counters account supervised sharded execution
+    (:class:`~repro.pipeline.sharding.ShardedScanEngine`):
+    ``shard_timeouts`` shard attempts that exceeded the deadline (hung
+    or dead worker), ``shard_failures`` attempts that raised (worker
+    crash, corrupt result buffer), ``shard_retries`` recovery
+    executions — pool re-dispatches plus the final inline fallback.  A
+    healthy run reports zeros; the bench gate pins that.
     """
 
     site_phase_seconds: float = 0.0
@@ -169,6 +211,9 @@ class ScanPhaseStats:
     exchange_cache_hits: int = 0
     exchange_cache_misses: int = 0
     exchange_cache_uncacheable: int = 0
+    shard_retries: int = 0
+    shard_timeouts: int = 0
+    shard_failures: int = 0
 
     @property
     def exchange_cache_hit_rate(self) -> float:
@@ -180,6 +225,12 @@ class ScanPhaseStats:
         self.exchange_cache_hits += other.exchange_cache_hits
         self.exchange_cache_misses += other.exchange_cache_misses
         self.exchange_cache_uncacheable += other.exchange_cache_uncacheable
+
+    def merge_supervision_counters(self, other: "ScanPhaseStats") -> None:
+        """Fold another split's shard supervision counters into this one."""
+        self.shard_retries += other.shard_retries
+        self.shard_timeouts += other.shard_timeouts
+        self.shard_failures += other.shard_failures
 
 
 @dataclass
@@ -636,9 +687,24 @@ class ScanEngine:
         records: dict,
         reuse: SiteResultCache | None,
         site_rng: str,
+        entry_sink: list | None = None,
+        replay: dict[tuple[int, int], tuple[object, float]] | None = None,
     ) -> None:
-        """Run all site events (serially; overridden by the sharded engine)."""
+        """Run all site events (serially; overridden by the sharded engine).
+
+        ``entry_sink``, when given, collects ``(site_index, kind,
+        result, elapsed)`` entries in event order — the unit campaign
+        checkpoints persist.  ``replay`` short-circuits execution with
+        previously produced entries (a rehydrated checkpoint); both
+        require ``site_rng="per-site"`` because shared-stream draws
+        depend on the events actually executing.
+        """
         if site_rng == "shared":
+            if entry_sink is not None or replay is not None:
+                raise ValueError(
+                    "entry capture/replay requires site_rng='per-site'; the "
+                    "shared RNG stream's draws depend on events executing"
+                )
             for event in events:
                 self._run_event(
                     event, week, vantage_id, quic_config, tcp_config, records, reuse
@@ -646,17 +712,67 @@ class ScanEngine:
             return
         if site_rng != "per-site":
             raise ValueError(f"unknown site_rng mode: {site_rng!r}")
+        if replay is not None:
+            self._apply_replay(events, replay, records, entry_sink=entry_sink)
+            return
         # Independent substream + private clock per event; the shared
         # clock advances by the summed elapsed time, in event order, so
         # any executor that merges in event order lands on the same
         # (bit-identical) float.
-        elapsed = 0.0
+        elapsed_total = 0.0
         for event in events:
-            elapsed += self._run_event_per_site(
+            elapsed = self._run_event_per_site(
                 event, week, vantage_id, ip_version, quic_config, tcp_config,
                 records, reuse,
             )
-        self.world.clock.advance(elapsed)
+            elapsed_total += elapsed
+            if entry_sink is not None:
+                record = records[event.site_index]
+                result = record.quic if event.kind == QUIC_EVENT else record.tcp
+                entry_sink.append((event.site_index, event.kind, result, elapsed))
+        self.world.clock.advance(elapsed_total)
+
+    def _apply_replay(
+        self,
+        events: list[SiteEvent],
+        replay: dict[tuple[int, int], tuple[object, float]],
+        records: dict,
+        *,
+        entry_sink: list | None = None,
+        source: str = "site-phase replay",
+        shard_of=None,
+    ) -> None:
+        """Fill ``records`` from previously produced per-event results.
+
+        The single definition of the central merge: sharded execution
+        and checkpoint rehydration both land here.  Coverage is
+        validated *before* any record is touched — a gap raises
+        :class:`ShardResultMissing` with the full list of absent
+        ``(site_index, kind)`` pairs and leaves ``records`` and the
+        clock untouched, so callers can recover by recomputing.  Entries
+        then apply in serial event order: records fill in the same
+        sequence and the clock sums the same floats in the same order
+        as the serial per-site engine (bit-identical trajectory).
+        """
+        missing = [
+            (event.site_index, event.kind)
+            for event in events
+            if (event.site_index, event.kind) not in replay
+        ]
+        if missing:
+            raise ShardResultMissing(missing, source=source, shard_of=shard_of)
+        elapsed_total = 0.0
+        for event in events:
+            result, elapsed = replay[(event.site_index, event.kind)]
+            record = ensure_site_record(records, event.site_index, event.address)
+            if event.kind == QUIC_EVENT:
+                record.quic = result
+            else:
+                record.tcp = result
+            elapsed_total += elapsed
+            if entry_sink is not None:
+                entry_sink.append((event.site_index, event.kind, result, elapsed))
+        self.world.clock.advance(elapsed_total)
 
     def _run_event_per_site(
         self,
@@ -704,12 +820,20 @@ class ScanEngine:
         site_rng: str = "shared",
         backend: str = "objects",
         phase_stats: ScanPhaseStats | None = None,
+        entry_sink: list | None = None,
+        replay_entries: Sequence[tuple[int, int, object, float]] | None = None,
     ) -> WeeklyRun:
         """One weekly run, equal field-for-field to the reference loop.
 
         ``site_rng="per-site"`` switches the site phase to independent
         per-event RNG substreams (see the module docstring) — the mode
         the sharded engine golden-tests against.
+
+        ``entry_sink`` collects the week's ``(site_index, kind, result,
+        elapsed)`` site-phase entries in event order (what campaign
+        checkpoints persist); ``replay_entries`` rehydrates the site
+        phase from such entries instead of executing it.  Both require
+        ``site_rng="per-site"``.
 
         ``backend`` picks the results layer: ``"objects"`` materialises
         one :class:`DomainObservation` per domain (the defining
@@ -745,6 +869,12 @@ class ScanEngine:
             else None
         )
         phase_start = perf_counter() if phase_stats is not None else 0.0
+        replay = None
+        if replay_entries is not None:
+            replay = {
+                (site_index, kind): (result, elapsed)
+                for site_index, kind, result, elapsed in replay_entries
+            }
         self._execute_site_phase(
             events,
             week,
@@ -755,6 +885,8 @@ class ScanEngine:
             records,
             reuse,
             site_rng,
+            entry_sink,
+            replay,
         )
         if phase_stats is not None:
             now = perf_counter()

@@ -27,12 +27,28 @@ before the merge.  Lazy world sections the shard needs (the vantage's
 routes) are materialised before the pool forks; mutate the world only
 before the first sharded run, and call :meth:`close` (or use the engine
 as a context manager) when done.
+
+Process shards are **supervised** (docs/robustness.md): every shard is
+dispatched asynchronously with a per-attempt deadline
+(``shard_timeout``).  A shard whose result does not arrive in time —
+the worker hung, or died and took the task with it — or whose result
+buffer fails the codec checksum, or whose attempt raised, is
+re-dispatched up to ``max_shard_retries`` times with exponential
+backoff; a shard that exhausts its retries is re-executed *inline* in
+the parent, so a wedged pool can delay a run but never lose results.
+Determinism makes this sound: a retried shard produces byte-identical
+entries, so recovered runs equal clean runs exactly.  The central merge
+validates coverage before touching any record and raises the typed
+:class:`~repro.pipeline.engine.ShardResultMissing` on a gap instead of
+a bare ``KeyError``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.pipeline.engine import (
@@ -43,7 +59,11 @@ from repro.pipeline.engine import (
 )
 from repro.scanner.quic_scan import QuicScanConfig
 from repro.scanner.tcp_scan import TcpScanConfig
-from repro.store.codec import decode_shard_payload, encode_shard_results
+from repro.store.codec import (
+    CodecCorruption,
+    decode_shard_payload,
+    encode_shard_results,
+)
 from repro.util.weeks import Week
 
 #: Engine inherited by forked pool workers (fork snapshots this module's
@@ -55,6 +75,26 @@ def default_shards() -> int:
     """Shard count used when none is given: the machine's CPU count,
     capped — site phases at common scales do not amortise more workers."""
     return max(1, min(8, os.cpu_count() or 1))
+
+
+@dataclass
+class SupervisionStats:
+    """Lifetime shard-supervision counters of one sharded engine.
+
+    ``timeouts`` counts attempts whose result missed the deadline (hung
+    or dead worker), ``failures`` attempts that raised or returned a
+    corrupt buffer, ``retries`` every recovery execution (pool
+    re-dispatches *and* the inline fallback), ``fallbacks`` just the
+    inline re-executions.  A clean run leaves all four at zero.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    fallbacks: int = 0
+
+    def snapshot(self) -> tuple[int, int, int, int]:
+        return (self.retries, self.timeouts, self.failures, self.fallbacks)
 
 
 class ShardedScanEngine(ScanEngine):
@@ -75,6 +115,10 @@ class ShardedScanEngine(ScanEngine):
         executor: str = "inline",
         shard_order: Sequence[int] | None = None,
         exchange_cache: bool = True,
+        shard_timeout: float = 60.0,
+        max_shard_retries: int = 2,
+        retry_backoff: float = 0.05,
+        fault_plan=None,
     ):
         super().__init__(world, exchange_cache=exchange_cache)
         if executor not in ("inline", "process"):
@@ -82,17 +126,45 @@ class ShardedScanEngine(ScanEngine):
         self.shards = shards if shards is not None else default_shards()
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive")
+        if max_shard_retries < 0:
+            raise ValueError("max_shard_retries must be >= 0")
         self.executor = executor
         #: Test seam: the order shards are *executed* in (inline mode).
         #: Results are order-independent; the golden tests permute this.
         self.shard_order = shard_order
+        #: Per-attempt result deadline for process shards (seconds).
+        self.shard_timeout = shard_timeout
+        #: Pool re-dispatches per shard before the inline fallback.
+        self.max_shard_retries = max_shard_retries
+        #: Base of the exponential re-dispatch backoff (seconds).
+        self.retry_backoff = retry_backoff
+        #: Deterministic fault-injection hooks
+        #: (:class:`repro.faults.FaultPlan`); ``None`` in production.
+        self.fault_plan = fault_plan
+        #: Lifetime supervision counters (``run_week`` folds per-week
+        #: deltas into the caller's :class:`ScanPhaseStats`).
+        self.supervision = SupervisionStats()
         self._plans = world.scan_engine()._plans  # share plan cache
         self._pool = None
 
     # ------------------------------------------------------------------
     def run_week(self, week, vantage_id="main-aachen", *, site_rng="per-site", **kwargs):
-        """As :meth:`ScanEngine.run_week`, defaulting to per-site RNG."""
-        return super().run_week(week, vantage_id, site_rng=site_rng, **kwargs)
+        """As :meth:`ScanEngine.run_week`, defaulting to per-site RNG.
+
+        Folds this week's shard-supervision deltas (retries, timeouts,
+        failures) into the caller's ``phase_stats``.
+        """
+        phase_stats = kwargs.get("phase_stats")
+        base = self.supervision.snapshot() if phase_stats is not None else None
+        run = super().run_week(week, vantage_id, site_rng=site_rng, **kwargs)
+        if base is not None:
+            now = self.supervision.snapshot()
+            phase_stats.shard_retries += now[0] - base[0]
+            phase_stats.shard_timeouts += now[1] - base[1]
+            phase_stats.shard_failures += now[2] - base[2]
+        return run
 
     def run_weeks(self, weeks, vantage_id="main-aachen", *, site_rng="per-site", **kwargs):
         """As :meth:`ScanEngine.run_weeks`, defaulting to per-site RNG."""
@@ -122,6 +194,8 @@ class ShardedScanEngine(ScanEngine):
         records,
         reuse,
         site_rng,
+        entry_sink=None,
+        replay=None,
     ) -> None:
         if site_rng == "shared":
             raise ValueError(
@@ -129,6 +203,15 @@ class ShardedScanEngine(ScanEngine):
                 "use site_rng='per-site' (the default here) or the serial "
                 "ScanEngine"
             )
+        if replay is not None:
+            self._apply_replay(
+                events,
+                replay,
+                records,
+                entry_sink=entry_sink,
+                shard_of=lambda site_index: site_index % self.shards,
+            )
+            return
         if reuse is not None and self.executor == "process":
             raise ValueError(
                 "reuse_site_results needs a cache shared across weeks; "
@@ -151,43 +234,105 @@ class ShardedScanEngine(ScanEngine):
                 ):
                     merged[(entry[0], entry[1])] = (entry[2], entry[3])
         else:
-            # Materialise this vantage's lazy route section before the
-            # pool (possibly) forks: workers inherit the world by
-            # reference snapshot, so a section built pre-fork is shared,
-            # one built post-fork would be rebuilt per worker.
-            self.world.ensure_routes(vantage_id)
-            pool = self._ensure_pool()
-            payloads = [
-                (shards[i], week, vantage_id, ip_version, quic_config, tcp_config)
-                for i in order
-                if shards[i]
-            ]
+            self._execute_shards_supervised(
+                shards, order, week, vantage_id, ip_version,
+                quic_config, tcp_config, merged,
+            )
+
+        # Merge centrally, in the serial event order: records fill in the
+        # same sequence and the clock sums the same floats in the same
+        # order as the serial per-site engine.  Coverage is validated
+        # first — a gap raises ShardResultMissing naming the absent
+        # (site, kind) pairs and their shard, and leaves records intact.
+        self._apply_replay(
+            events,
+            merged,
+            records,
+            entry_sink=entry_sink,
+            source=f"sharded merge ({self.executor}, {self.shards} shards)",
+            shard_of=lambda site_index: site_index % self.shards,
+        )
+
+    # ------------------------------------------------------------------
+    # Supervised process execution
+    # ------------------------------------------------------------------
+    def _execute_shards_supervised(
+        self,
+        shards: list[list[SiteEvent]],
+        order,
+        week: Week,
+        vantage_id: str,
+        ip_version: int,
+        quic_config: QuicScanConfig,
+        tcp_config: TcpScanConfig,
+        merged: dict[tuple[int, int], tuple[object, float]],
+    ) -> None:
+        """Dispatch every shard asynchronously; collect under supervision.
+
+        Each attempt has ``shard_timeout`` seconds to deliver a buffer
+        that decodes cleanly.  A timeout (hung worker, or a dead one —
+        the pool repopulates its processes but the lost task never
+        completes), a corrupt buffer, or a raising attempt triggers a
+        backed-off re-dispatch, up to ``max_shard_retries`` per shard;
+        after that the shard re-executes inline in the parent.  Results
+        of abandoned attempts that straggle in later are never read.
+        Retried shards are byte-identical to first-try shards (per-site
+        RNG substreams), so recovery never changes the merged output.
+        """
+        # Materialise this vantage's lazy route section before the
+        # pool (possibly) forks: workers inherit the world by
+        # reference snapshot, so a section built pre-fork is shared,
+        # one built post-fork would be rebuilt per worker.
+        self.world.ensure_routes(vantage_id)
+        pool = self._ensure_pool()
+
+        def dispatch(shard_index: int, attempt: int):
             # Workers marshal each shard as ONE codec buffer (see
             # repro.store.codec) instead of a pickled object list —
             # results cross the process boundary as flat bytes, with the
             # worker's exchange-cache counters in the buffer trailer.
-            for shard_buffer in pool.map(_pool_run_shard, payloads):
-                entries, cache_stats = decode_shard_payload(shard_buffer)
-                if self.exchange_cache is not None:
-                    self.exchange_cache.stats.add(*cache_stats)
-                for site_index, kind, result, elapsed in entries:
-                    merged[(site_index, kind)] = (result, elapsed)
+            payload = (
+                shards[shard_index], week, vantage_id, ip_version,
+                quic_config, tcp_config, shard_index, attempt,
+            )
+            return pool.apply_async(_pool_run_shard, (payload,))
 
-        # Merge centrally, in the serial event order: records fill in the
-        # same sequence and the clock sums the same floats in the same
-        # order as the serial per-site engine.
-        from repro.pipeline.runs import ensure_site_record
-
-        elapsed_total = 0.0
-        for event in events:
-            result, elapsed = merged[(event.site_index, event.kind)]
-            record = ensure_site_record(records, event.site_index, event.address)
-            if event.kind == QUIC_EVENT:
-                record.quic = result
-            else:
-                record.tcp = result
-            elapsed_total += elapsed
-        self.world.clock.advance(elapsed_total)
+        active = [i for i in order if shards[i]]
+        inflight = {shard_index: dispatch(shard_index, 0) for shard_index in active}
+        for shard_index in active:
+            entries = None
+            for attempt in range(self.max_shard_retries + 1):
+                try:
+                    buffer = inflight[shard_index].get(self.shard_timeout)
+                    entries, cache_stats = decode_shard_payload(buffer)
+                except multiprocessing.TimeoutError:
+                    self.supervision.timeouts += 1
+                except CodecCorruption:
+                    self.supervision.failures += 1
+                except Exception:
+                    # The attempt itself raised in the worker (the pool
+                    # propagates the exception through .get()).
+                    self.supervision.failures += 1
+                else:
+                    if self.exchange_cache is not None:
+                        self.exchange_cache.stats.add(*cache_stats)
+                    break
+                if attempt < self.max_shard_retries:
+                    self.supervision.retries += 1
+                    if self.retry_backoff > 0:
+                        time.sleep(self.retry_backoff * (2 ** attempt))
+                    inflight[shard_index] = dispatch(shard_index, attempt + 1)
+            if entries is None:
+                # Retries exhausted: execute just this shard inline in
+                # the parent — slower, but immune to a wedged pool.
+                self.supervision.retries += 1
+                self.supervision.fallbacks += 1
+                entries = self._run_shard(
+                    shards[shard_index], week, vantage_id, ip_version,
+                    quic_config, tcp_config,
+                )
+            for site_index, kind, result, elapsed in entries:
+                merged[(site_index, kind)] = (result, elapsed)
 
     # ------------------------------------------------------------------
     def _run_shard(
@@ -220,19 +365,27 @@ class ShardedScanEngine(ScanEngine):
         if self._pool is None:
             global _WORKER_ENGINE
             ctx = multiprocessing.get_context("fork")
+            # The global stays set for the POOL's lifetime, not just
+            # Pool() construction: mp.Pool re-forks replacement workers
+            # when one dies, and those late forks must inherit the
+            # engine too (a replacement worker with no engine would
+            # fail every task it is handed).  Consequence: with two
+            # live pools the *latest* engine wins for replacements —
+            # supervision's inline fallback still guarantees results,
+            # but keep one process-executor engine at a time.
             _WORKER_ENGINE = self
-            try:
-                self._pool = ctx.Pool(processes=min(self.shards, os.cpu_count() or 1))
-            finally:
-                _WORKER_ENGINE = None
+            self._pool = ctx.Pool(processes=min(self.shards, os.cpu_count() or 1))
         return self._pool
 
     def close(self) -> None:
         """Dispose the worker pool (no-op for the inline executor)."""
         if self._pool is not None:
+            global _WORKER_ENGINE
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+            if _WORKER_ENGINE is self:
+                _WORKER_ENGINE = None
 
     def invalidate(self) -> None:
         """Drop cached plans *and* the forked pool (its world snapshot
@@ -260,11 +413,24 @@ def _pool_run_shard(payload) -> bytes:
     weeks this worker has processed) accounts its own hits/misses; the
     per-shard delta rides in the codec trailer so the parent's counters
     stay executor-independent.
+
+    The engine's fault plan (tests only) hooks in here, on the worker
+    side of the process boundary: ``before_shard`` may crash or stall
+    this worker, ``mangle_shard_buffer`` may corrupt the marshalled
+    result — exactly the failures supervision must absorb.  Rules match
+    on ``(shard_index, week, attempt)``, carried in the payload, so
+    injection is deterministic across forks with no shared state.
     """
     engine = _WORKER_ENGINE
     if engine is None:  # pragma: no cover - misuse guard
         raise RuntimeError("worker has no inherited ShardedScanEngine")
-    events, week, vantage_id, ip_version, quic_config, tcp_config = payload
+    (
+        events, week, vantage_id, ip_version, quic_config, tcp_config,
+        shard_index, attempt,
+    ) = payload
+    fault_plan = engine.fault_plan
+    if fault_plan is not None:
+        fault_plan.before_shard(shard=shard_index, week=week, attempt=attempt)
     cache = engine.exchange_cache
     base = cache.stats.snapshot() if cache is not None else (0, 0, 0)
     entries = engine._run_shard(
@@ -275,4 +441,9 @@ def _pool_run_shard(payload) -> bytes:
         delta = (now[0] - base[0], now[1] - base[1], now[2] - base[2])
     else:
         delta = (0, 0, 0)
-    return encode_shard_results(entries, cache_stats=delta)
+    buffer = encode_shard_results(entries, cache_stats=delta)
+    if fault_plan is not None:
+        buffer = fault_plan.mangle_shard_buffer(
+            buffer, shard=shard_index, week=week, attempt=attempt
+        )
+    return buffer

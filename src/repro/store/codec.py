@@ -24,6 +24,15 @@ exchange replay-cache counters (hits, misses, uncacheable) for the
 encoded shard, so fork-pool runs report the same cache accounting as
 in-process executors.  :func:`decode_shard_results` keeps returning
 just the entries; :func:`decode_shard_payload` returns both.
+
+Version 3 wraps every buffer in a **checksummed frame** —
+``magic + body length + CRC32 + body`` (:func:`frame_payload` /
+:func:`unframe_payload`) — shared with the world snapshot codec and the
+campaign checkpoint files.  Any truncation or bit flip of a framed
+buffer raises the typed :class:`CodecCorruption` before a single body
+byte is interpreted: corrupted bytes never decode to plausible-but-
+wrong results (crashed fork-pool workers and torn checkpoint files can
+produce exactly such buffers; docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -38,9 +47,27 @@ from repro.quic.varint import decode_varint, encode_varint
 from repro.quic.versions import QuicVersion
 from repro.tcp.client import TcpScanOutcome
 from repro.tcp.ebpf import CodepointCounter
+from repro.util.framing import (
+    CodecCorruption,
+    CodecError,
+    frame_payload,
+    unframe_payload,
+)
+
+__all__ = [
+    "MAGIC",
+    "CodecCorruption",
+    "CodecError",
+    "decode_shard_payload",
+    "decode_shard_results",
+    "encode_shard_results",
+    "frame_payload",
+    "unframe_payload",
+]
 
 #: Buffer prefix: codec name + format version.
-MAGIC = b"ECNSTOR2"
+MAGIC = b"ECNSTOR3"
+
 
 _RESULT_NONE = 0
 _RESULT_QUIC = 1
@@ -331,9 +358,10 @@ def encode_shard_results(
 ) -> bytes:
     """Marshal one shard's ``(site, kind, result, elapsed)`` entries.
 
-    One buffer per shard: header (including the shard's exchange-cache
-    ``(hits, misses, uncacheable)`` counters), deduplicated string
-    table, then the packed entries.  ``elapsed`` round-trips bit-exactly.
+    One checksummed frame per shard: header (including the shard's
+    exchange-cache ``(hits, misses, uncacheable)`` counters),
+    deduplicated string table, then the packed entries.  ``elapsed``
+    round-trips bit-exactly.
     """
     table = StringTable()
     body = bytearray()
@@ -353,22 +381,25 @@ def encode_shard_results(
             raise TypeError(
                 f"cannot encode shard result of type {type(result).__name__}"
             )
-    out = bytearray(MAGIC)
+    out = bytearray()
     for counter in cache_stats:
         out += encode_varint(counter)
     out += encode_string_table(table)
     out += encode_varint(len(entries))
     out += body
-    return bytes(out)
+    return frame_payload(MAGIC, bytes(out))
 
 
 def decode_shard_payload(
     buf: bytes,
 ) -> tuple[list[tuple[int, int, object, float]], tuple[int, int, int]]:
-    """Inverse of :func:`encode_shard_results`: (entries, cache stats)."""
-    if buf[: len(MAGIC)] != MAGIC:
-        raise ValueError("not a shard result buffer (bad magic)")
-    offset = len(MAGIC)
+    """Inverse of :func:`encode_shard_results`: (entries, cache stats).
+
+    The frame is verified first; a truncated or bit-flipped buffer
+    raises :class:`CodecCorruption` without touching the body.
+    """
+    buf = unframe_payload(MAGIC, buf, what="shard result")
+    offset = 0
     hits, offset = decode_varint(buf, offset)
     misses, offset = decode_varint(buf, offset)
     uncacheable, offset = decode_varint(buf, offset)

@@ -1,7 +1,15 @@
-"""Shared utilities: deterministic RNG streams, formatting, week calendar."""
+"""Shared utilities: RNG streams, formatting, weeks, atomic file writes."""
 
+from repro.util.atomic import atomic_write_bytes
 from repro.util.fmt import format_count, format_pct
 from repro.util.rng import RngStream, derive_rng
 from repro.util.weeks import Week
 
-__all__ = ["RngStream", "derive_rng", "format_count", "format_pct", "Week"]
+__all__ = [
+    "RngStream",
+    "atomic_write_bytes",
+    "derive_rng",
+    "format_count",
+    "format_pct",
+    "Week",
+]

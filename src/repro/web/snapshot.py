@@ -51,6 +51,8 @@ from itertools import starmap
 from pathlib import Path
 
 from repro.quic.varint import decode_varint, encode_varint
+from repro.util.atomic import atomic_write_bytes
+from repro.util.framing import CodecCorruption, frame_payload, unframe_payload
 from repro.util.weeks import Week
 from repro.web.spec import (
     ProviderSpec,
@@ -66,8 +68,11 @@ from repro.web.world import (
     build_world,
 )
 
-#: Buffer prefix: codec name + format version.
-MAGIC = b"ECNWRLD1"
+#: Buffer prefix: codec name + format version.  Version 2 wraps the
+#: buffer in the shared checksummed frame (:mod:`repro.util.framing`),
+#: so a truncated or bit-flipped snapshot raises
+#: :class:`SnapshotCorruption` instead of decoding garbage tables.
+MAGIC = b"ECNWRLD2"
 
 # Domain flag bits (flags column).
 _D_TOPLIST = 1 << 0
@@ -107,6 +112,16 @@ class SnapshotError(ValueError):
 
 class SnapshotMismatch(SnapshotError):
     """The snapshot was taken for different specs than those supplied."""
+
+
+class SnapshotCorruption(SnapshotError, CodecCorruption):
+    """A snapshot frame whose magic, length or checksum does not verify.
+
+    Subclasses both :class:`SnapshotError` (callers that treat any bad
+    snapshot uniformly) and :class:`repro.util.framing.CodecCorruption`
+    (callers that treat all torn/corrupted codec artifacts uniformly —
+    the fault-injection tests assert on that base).
+    """
 
 
 # ----------------------------------------------------------------------
@@ -174,7 +189,7 @@ def encode_world(world: World) -> bytes:
     from repro.store.codec import StringTable, encode_string_table
 
     config = world.config
-    out = bytearray(MAGIC)
+    out = bytearray()
     out += _encode_str(
         world_fingerprint(
             config, world.provider_list, world.vantage_list, world.override_list
@@ -270,7 +285,7 @@ def encode_world(world: World) -> bytes:
 
     out += encode_string_table(table)
     out += body
-    return bytes(out)
+    return frame_payload(MAGIC, bytes(out))
 
 
 # ----------------------------------------------------------------------
@@ -278,9 +293,10 @@ def encode_world(world: World) -> bytes:
 # ----------------------------------------------------------------------
 def snapshot_fingerprint(buf: bytes) -> str:
     """The fingerprint a snapshot buffer was taken for."""
-    if buf[: len(MAGIC)] != MAGIC:
-        raise SnapshotError("not a world snapshot buffer (bad magic)")
-    fingerprint, _ = _decode_str(buf, len(MAGIC))
+    body = unframe_payload(
+        MAGIC, buf, what="world snapshot", error=SnapshotCorruption
+    )
+    fingerprint, _ = _decode_str(body, 0)
     return fingerprint
 
 
@@ -322,9 +338,8 @@ def decode_world(
     vantages = vantages if vantages is not None else default_vantages()
     overrides = overrides if overrides is not None else default_vantage_overrides()
 
-    if buf[: len(MAGIC)] != MAGIC:
-        raise SnapshotError("not a world snapshot buffer (bad magic)")
-    offset = len(MAGIC)
+    buf = unframe_payload(MAGIC, buf, what="world snapshot", error=SnapshotCorruption)
+    offset = 0
     fingerprint, offset = _decode_str(buf, offset)
 
     scale_repr, offset = _decode_str(buf, offset)
@@ -550,20 +565,13 @@ def acquire_world(
 
 
 def _persist(path: Path, buf: bytes) -> None:
-    """Atomically publish a snapshot buffer under the cache directory.
-
-    The temp name is unique per writer: concurrent cold acquisitions
-    sharing one cache dir must not truncate each other's in-flight file
-    before the ``os.replace``.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-    tmp.write_bytes(buf)
-    os.replace(tmp, path)
+    """Atomically publish a snapshot buffer under the cache directory."""
+    atomic_write_bytes(path, buf)
 
 
 __all__ = [
     "MAGIC",
+    "SnapshotCorruption",
     "SnapshotError",
     "SnapshotMismatch",
     "acquire_world",

@@ -1,0 +1,174 @@
+"""Supervised shard execution under injected faults.
+
+Every fault the harness can inject — worker crash, stalled shard,
+corrupted result buffer — must be absorbed by supervision (retry, then
+inline fallback) with results *identical* to a clean run: per-site RNG
+substreams make retried shards byte-deterministic, so recovery is
+invisible in the output and visible only in the supervision counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.faults import FaultPlan, InjectedFault
+from repro.pipeline.engine import ScanPhaseStats, ShardResultMissing
+from repro.pipeline.sharding import ShardedScanEngine
+from repro.web.spec import WorldConfig
+
+from tests.test_pipeline_sharding import _assert_runs_equal
+
+SCALE = 6_000
+
+
+def _build():
+    return repro.build_world(WorldConfig(scale=SCALE))
+
+
+@pytest.fixture(scope="module")
+def serial_per_site():
+    """The serial engine in per-site RNG mode — the golden reference."""
+    world = _build()
+    week = world.config.reference_week
+    run = world.scan_engine().run_week(week, site_rng="per-site", include_tcp=True)
+    return world, run
+
+
+def _run_faulted(plan, *, shards=2, max_shard_retries=2, shard_timeout=3.0):
+    world = _build()
+    stats = ScanPhaseStats()
+    engine = ShardedScanEngine(
+        world,
+        shards=shards,
+        executor="process",
+        fault_plan=plan,
+        shard_timeout=shard_timeout,
+        max_shard_retries=max_shard_retries,
+    )
+    with engine:
+        run = engine.run_week(
+            world.config.reference_week, include_tcp=True, phase_stats=stats
+        )
+    return world, run, stats, engine
+
+
+def test_worker_crash_is_retried_and_results_match(serial_per_site):
+    world_ref, reference = serial_per_site
+    week = world_ref.config.reference_week
+    plan = FaultPlan(seed=1).crash_worker(shard=1, week=week)
+    world, run, stats, engine = _run_faulted(plan)
+    _assert_runs_equal(reference, run)
+    assert world_ref.clock.now == world.clock.now
+    # The lost task surfaces as a timeout; exactly one retry recovers it.
+    assert stats.shard_timeouts == 1
+    assert stats.shard_retries == 1
+    assert engine.supervision.fallbacks == 0
+
+
+@pytest.mark.parametrize("mode", ["bitflip", "truncate"])
+def test_corrupt_result_buffer_is_retried_and_results_match(serial_per_site, mode):
+    world_ref, reference = serial_per_site
+    week = world_ref.config.reference_week
+    plan = FaultPlan(seed=2).corrupt_shard_buffer(shard=0, week=week, mode=mode)
+    world, run, stats, engine = _run_faulted(plan)
+    _assert_runs_equal(reference, run)
+    assert world_ref.clock.now == world.clock.now
+    # The damage is caught by the frame checksum, never decoded.
+    assert stats.shard_failures == 1
+    assert stats.shard_retries == 1
+
+
+def test_stalled_shard_times_out_and_results_match(serial_per_site):
+    world_ref, reference = serial_per_site
+    week = world_ref.config.reference_week
+    plan = FaultPlan(seed=3).delay_shard(6.0, shard=1, week=week)
+    world, run, stats, _ = _run_faulted(plan, shard_timeout=1.5)
+    _assert_runs_equal(reference, run)
+    assert world_ref.clock.now == world.clock.now
+    assert stats.shard_timeouts >= 1
+    assert stats.shard_retries >= 1
+
+
+def test_persistent_crash_falls_back_inline(serial_per_site):
+    """A shard that fails every pool attempt re-executes in the parent."""
+    world_ref, reference = serial_per_site
+    week = world_ref.config.reference_week
+    # attempt=None: every dispatch of shard 1 crashes its worker.
+    plan = FaultPlan(seed=4).crash_worker(shard=1, week=week, attempt=None)
+    world, run, stats, engine = _run_faulted(
+        plan, max_shard_retries=1, shard_timeout=1.5
+    )
+    _assert_runs_equal(reference, run)
+    assert world_ref.clock.now == world.clock.now
+    assert engine.supervision.fallbacks == 1
+    assert stats.shard_timeouts == 2  # initial attempt + one re-dispatch
+    assert stats.shard_retries == 2  # the re-dispatch + the inline fallback
+
+
+def test_missing_shard_results_raise_typed_error():
+    world = _build()
+    engine = ShardedScanEngine(world, shards=2)
+    week = world.config.reference_week
+    with pytest.raises(ShardResultMissing) as excinfo:
+        engine.run_week(week, include_tcp=True, replay_entries=[])
+    message = str(excinfo.value)
+    assert "missing" in message
+    assert "site" in message
+    assert "shard" in message
+    assert excinfo.value.missing  # the full (site, kind) list is attached
+    # Nothing was merged: the failed replay left no half-filled state.
+    assert world.clock.now == 0.0
+
+
+def test_partial_replay_names_only_absent_entries():
+    world = _build()
+    engine = ShardedScanEngine(world, shards=2)
+    week = world.config.reference_week
+    # Replay covering only half the schedule: the error names the rest.
+    run_entries = []
+    full = engine.run_week(week, include_tcp=True, entry_sink=run_entries)
+    assert run_entries
+    half = run_entries[: len(run_entries) // 2]
+    world2 = _build()
+    engine2 = ShardedScanEngine(world2, shards=2)
+    with pytest.raises(ShardResultMissing) as excinfo:
+        engine2.run_week(week, include_tcp=True, replay_entries=half)
+    assert len(excinfo.value.missing) == len(run_entries) - len(half)
+    # A full replay reproduces the executed run exactly.
+    world3 = _build()
+    engine3 = ShardedScanEngine(world3, shards=4)  # different partition: irrelevant
+    replayed = engine3.run_week(week, include_tcp=True, replay_entries=run_entries)
+    _assert_runs_equal(full, replayed)
+    assert world.clock.now == world3.clock.now
+
+
+def test_fault_corruption_is_deterministic():
+    week = repro.build_world(WorldConfig(scale=40_000)).config.reference_week
+    buf = bytes(range(256)) * 8
+    plan_a = FaultPlan(seed=9).corrupt_shard_buffer(shard=2, week=week)
+    plan_b = FaultPlan(seed=9).corrupt_shard_buffer(shard=2, week=week)
+    mangled_a = plan_a.mangle_shard_buffer(buf, shard=2, week=week, attempt=0)
+    mangled_b = plan_b.mangle_shard_buffer(buf, shard=2, week=week, attempt=0)
+    assert mangled_a == mangled_b != buf
+    # Non-matching coordinates leave the buffer alone.
+    assert plan_a.mangle_shard_buffer(buf, shard=1, week=week, attempt=0) == buf
+    assert plan_a.mangle_shard_buffer(buf, shard=2, week=week, attempt=1) == buf
+    # A different seed damages a different position.
+    other = FaultPlan(seed=10).corrupt_shard_buffer(shard=2, week=week)
+    assert other.mangle_shard_buffer(buf, shard=2, week=week, attempt=0) != mangled_a
+
+
+def test_abort_rule_raises_injected_fault():
+    world = _build()
+    weeks = [world.config.start_week, world.config.reference_week]
+    plan = FaultPlan().abort_campaign_after(weeks[0])
+    with pytest.raises(InjectedFault):
+        repro.run_campaign(world, weeks=weeks, shards=2, fault_plan=plan)
+
+
+def test_fault_plan_rejects_unknown_modes():
+    with pytest.raises(ValueError):
+        FaultPlan().corrupt_shard_buffer(mode="scramble")
+    with pytest.raises(ValueError):
+        FaultPlan().corrupt_checkpoint(mode="zero")
