@@ -108,16 +108,27 @@ def _cmd_scan(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    if args.shards is not None and args.workers is not None:
+        print("--shards and --workers are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.ticket_sites is not None and args.workers is None:
+        print("--ticket-sites requires --workers", file=sys.stderr)
+        return 2
     if args.shards is None and args.shard_executor != "inline":
         print("--shard-executor requires --shards", file=sys.stderr)
         return 2
-    if args.shards is None and args.checkpoint_dir is not None:
-        print("--checkpoint-dir requires --shards", file=sys.stderr)
+    if args.shards is None and args.workers is None and args.checkpoint_dir is not None:
+        print("--checkpoint-dir requires --shards or --workers", file=sys.stderr)
         return 2
-    if args.shards is None and (
-        args.shard_timeout is not None or args.shard_retries is not None
+    if (
+        args.shards is None
+        and args.workers is None
+        and (args.shard_timeout is not None or args.shard_retries is not None)
     ):
-        print("--shard-timeout/--shard-retries require --shards", file=sys.stderr)
+        print(
+            "--shard-timeout/--shard-retries require --shards or --workers",
+            file=sys.stderr,
+        )
         return 2
     if args.resume and args.checkpoint_dir is None:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
@@ -129,6 +140,8 @@ def _cmd_campaign(args) -> int:
         cadence_weeks=args.cadence,
         shards=args.shards,
         shard_executor=args.shard_executor,
+        workers=args.workers,
+        ticket_sites=args.ticket_sites,
         backend=args.backend,
         exchange_cache=not args.no_exchange_cache,
         phase_stats=stats,
@@ -266,6 +279,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="how shards execute: in-process or a fork pool",
     )
     campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the site phase on a persistent pool of N forked workers "
+             "sharing one shared-memory world snapshot; weeks are "
+             "prefetched as (site-range, week-range) tickets, so the "
+             "whole campaign costs one dispatch round trip per worker "
+             "(mutually exclusive with --shards; see "
+             "docs/architecture.md#worker-pool--shared-world)",
+    )
+    campaign.add_argument(
+        "--ticket-sites",
+        type=int,
+        default=None,
+        metavar="M",
+        help="sites per work ticket for --workers (default: site count / "
+             "workers, i.e. one ticket per worker); smaller tickets "
+             "rebalance faster after a worker crash at the cost of more "
+             "dispatches",
+    )
+    campaign.add_argument(
         "--backend",
         choices=("store", "objects"),
         default="store",
@@ -285,8 +320,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="persist each completed week's results under DIR (atomic, "
-             "checksummed; requires --shards) so an interrupted campaign "
-             "can --resume without recomputing finished weeks",
+             "checksummed; requires --shards or --workers) so an "
+             "interrupted campaign can --resume without recomputing "
+             "finished weeks",
     )
     campaign.add_argument(
         "--resume",

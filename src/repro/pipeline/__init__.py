@@ -9,7 +9,13 @@ from repro.pipeline.engine import (
     SiteResultCache,
 )
 from repro.pipeline.runs import WeeklyRun, run_weekly_scan, run_weekly_scan_reference
-from repro.pipeline.sharding import ShardedScanEngine, SupervisionStats
+from repro.pipeline.sharding import (
+    ShardedScanEngine,
+    ShmPoolScanEngine,
+    SupervisionStats,
+    Ticket,
+    plan_tickets,
+)
 from repro.pipeline.toplists import merged_toplist_domains
 from repro.pipeline.vantage import VantageRun, run_distributed
 
@@ -22,8 +28,11 @@ __all__ = [
     "ScanPhaseStats",
     "ShardResultMissing",
     "ShardedScanEngine",
+    "ShmPoolScanEngine",
     "SiteResultCache",
     "SupervisionStats",
+    "Ticket",
+    "plan_tickets",
     "WeeklyRun",
     "run_weekly_scan",
     "run_weekly_scan_reference",

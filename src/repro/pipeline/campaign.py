@@ -79,6 +79,8 @@ def run_campaign(
     reuse_site_results: bool = False,
     shards: int | None = None,
     shard_executor: str = "inline",
+    workers: int | None = None,
+    ticket_sites: int | None = None,
     backend: str = "store",
     phase_stats: "ScanPhaseStats | None" = None,
     exchange_cache: bool = True,
@@ -87,6 +89,7 @@ def run_campaign(
     fault_plan: "FaultPlan | None" = None,
     shard_timeout: float | None = None,
     max_shard_retries: int | None = None,
+    engine=None,
 ) -> Campaign:
     """Scan the world repeatedly over the measurement period.
 
@@ -134,17 +137,62 @@ def run_campaign(
     (their effects live outside the checkpointed entries).  Shard count
     and executor may differ between the original run and the resume.
 
+    ``workers`` switches the site phase to a
+    :class:`~repro.pipeline.sharding.ShmPoolScanEngine`: the encoded
+    world is published to one shared-memory segment, a persistent pool
+    of that many forked workers decodes it zero-copy at startup, and
+    the campaign's weeks are prefetched as (site-range, week-range)
+    tickets so the whole series costs one dispatch round trip per
+    worker (``ticket_sites`` overrides the site-range size).  Mutually
+    exclusive with ``shards``; same per-site RNG semantics, same
+    supervision, same checkpoint compatibility — a campaign
+    checkpointed under ``shards`` resumes under ``workers`` and vice
+    versa.
+
+    ``engine`` supplies a pre-built engine instead (closing stays the
+    caller's job — this is how benchmarks keep one warm pool across
+    repeated campaigns); it is mutually exclusive with the
+    engine-construction parameters above.
+
     ``shard_timeout`` / ``max_shard_retries`` tune the sharded engine's
     worker supervision (docs/robustness.md); ``fault_plan`` injects
     deterministic faults (tests only, :mod:`repro.faults`).
     """
+    from repro.pipeline.sharding import ShardedScanEngine, ShmPoolScanEngine
+
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
-    if checkpoint_dir is not None:
-        if shards is None:
+    if shards is not None and workers is not None:
+        raise ValueError(
+            "shards and workers are mutually exclusive: shards=N selects the "
+            "per-dispatch sharded engine, workers=N the shared-memory pool"
+        )
+    if ticket_sites is not None and workers is None:
+        raise ValueError(
+            "ticket_sites has no effect without workers; pass workers=N to "
+            "run the shared-memory pool"
+        )
+    if engine is not None:
+        if shards is not None or workers is not None:
             raise ValueError(
-                "checkpointing requires a sharded campaign (shards=N): only "
-                "per-site RNG substreams are valid across resumed weeks"
+                "engine= is mutually exclusive with shards/workers; configure "
+                "the supplied engine directly"
+            )
+        if shard_timeout is not None or max_shard_retries is not None:
+            raise ValueError(
+                "engine= is mutually exclusive with shard_timeout/"
+                "max_shard_retries; configure the supplied engine directly"
+            )
+    if checkpoint_dir is not None:
+        if (
+            shards is None
+            and workers is None
+            and not isinstance(engine, ShardedScanEngine)
+        ):
+            raise ValueError(
+                "checkpointing requires a sharded campaign (shards=N or "
+                "workers=N): only per-site RNG substreams are valid across "
+                "resumed weeks"
             )
         if reuse_site_results:
             raise ValueError(
@@ -156,7 +204,12 @@ def run_campaign(
                 "checkpointing is incompatible with run_tracebox: trace "
                 "results are not part of the checkpointed site phase"
             )
-    if shards is None and (shard_timeout is not None or max_shard_retries is not None):
+    if (
+        shards is None
+        and workers is None
+        and engine is None
+        and (shard_timeout is not None or max_shard_retries is not None)
+    ):
         raise ValueError(
             "shard_timeout/max_shard_retries have no effect without shards; "
             "pass shards=N to run a supervised sharded site phase"
@@ -169,7 +222,29 @@ def run_campaign(
             week = week + cadence_weeks
         if weeks[-1] != world.config.reference_week:
             weeks.append(world.config.reference_week)
-    if shards is None:
+    owns_engine = engine is None
+    supervision = {}
+    if shard_timeout is not None:
+        supervision["shard_timeout"] = shard_timeout
+    if max_shard_retries is not None:
+        supervision["max_shard_retries"] = max_shard_retries
+    if engine is not None:
+        pass  # caller-built engine: caller configures and closes it
+    elif workers is not None:
+        if shard_executor != "inline":
+            raise ValueError(
+                f"shard_executor={shard_executor!r} applies to shards=N; "
+                "workers=N always runs the shared-memory process pool"
+            )
+        engine = ShmPoolScanEngine(
+            world,
+            workers=workers,
+            ticket_sites=ticket_sites,
+            exchange_cache=exchange_cache,
+            fault_plan=fault_plan,
+            **supervision,
+        )
+    elif shards is None:
         if shard_executor != "inline":
             raise ValueError(
                 f"shard_executor={shard_executor!r} has no effect without shards; "
@@ -182,13 +257,6 @@ def run_campaign(
 
             engine = ScanEngine(world, exchange_cache=False)
     else:
-        from repro.pipeline.sharding import ShardedScanEngine
-
-        supervision = {}
-        if shard_timeout is not None:
-            supervision["shard_timeout"] = shard_timeout
-        if max_shard_retries is not None:
-            supervision["max_shard_retries"] = max_shard_retries
         engine = ShardedScanEngine(
             world,
             shards=shards,
@@ -217,15 +285,23 @@ def run_campaign(
     # ASN/org walk).
     world.ensure_site_attribution()
     world.ensure_routes(vantage_id)
+    # Resolve which weeks replay from checkpoints *before* execution
+    # starts, so a shm-pool engine can prefetch tickets for exactly the
+    # weeks that will actually compute — the whole campaign then costs
+    # one ticket round trip per worker instead of one per week.
+    preloaded: dict[Week, object] = {}
+    if checkpointer is not None and resume:
+        for week in dict.fromkeys(weeks):
+            preloaded[week] = checkpointer.load(week)
+    if isinstance(engine, ShmPoolScanEngine):
+        compute_weeks = [week for week in weeks if preloaded.get(week) is None]
+        if compute_weeks:
+            engine.prefetch_weeks(compute_weeks, vantage_id, populations=populations)
     reuse = SiteResultCache() if reuse_site_results else None
     campaign = Campaign()
     try:
         for week in weeks:
-            replay_entries = (
-                checkpointer.load(week)
-                if checkpointer is not None and resume
-                else None
-            )
+            replay_entries = preloaded.get(week)
             entry_sink = (
                 [] if checkpointer is not None and replay_entries is None else None
             )
@@ -260,6 +336,11 @@ def run_campaign(
             if fault_plan is not None:
                 fault_plan.after_week(week)
     finally:
-        if shards is not None:
+        # Caller-supplied engines outlive the campaign (warm pools are
+        # the point of passing one in); self-built sharded/pool engines
+        # tear down here — on success, injected aborts and crashed
+        # workers alike, which is what keeps shared segments from
+        # leaking.
+        if owns_engine and isinstance(engine, ShardedScanEngine):
             engine.close()
     return campaign

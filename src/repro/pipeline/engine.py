@@ -689,6 +689,8 @@ class ScanEngine:
         site_rng: str,
         entry_sink: list | None = None,
         replay: dict[tuple[int, int], tuple[object, float]] | None = None,
+        populations: Sequence[str] | None = None,
+        include_tcp: bool = False,
     ) -> None:
         """Run all site events (serially; overridden by the sharded engine).
 
@@ -698,6 +700,11 @@ class ScanEngine:
         previously produced entries (a rehydrated checkpoint); both
         require ``site_rng="per-site"`` because shared-stream draws
         depend on the events actually executing.
+
+        ``populations``/``include_tcp`` restate the schedule parameters
+        that produced ``events``: this serial engine derives nothing
+        from them, but the shm-pool engine needs them to describe the
+        week to workers that rebuild the event list themselves.
         """
         if site_rng == "shared":
             if entry_sink is not None or replay is not None:
@@ -887,6 +894,8 @@ class ScanEngine:
             site_rng,
             entry_sink,
             replay,
+            populations=tuple(populations),
+            include_tcp=include_tcp,
         )
         if phase_stats is not None:
             now = perf_counter()

@@ -10,6 +10,9 @@ MAX_VARINT = (1 << 62) - 1
 
 _LENGTH_BY_PREFIX = {0b00: 1, 0b01: 2, 0b10: 4, 0b11: 8}
 
+#: Value mask per length prefix (the two prefix bits stripped).
+_MASK_BY_PREFIX = (0x3F, (1 << 14) - 1, (1 << 30) - 1, (1 << 62) - 1)
+
 
 def varint_length(value: int) -> int:
     """Number of bytes the encoding of ``value`` occupies."""
@@ -35,15 +38,21 @@ def encode_varint(value: int) -> bytes:
 def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
     """Decode a varint from ``data`` at ``offset``.
 
-    Returns ``(value, next_offset)``.
+    Returns ``(value, next_offset)``.  This sits on the hot path of
+    both the simulated wire and the result codec, so the common
+    single-byte case returns without any slicing and longer values go
+    through one ``int.from_bytes`` instead of a per-byte loop.
     """
-    if offset >= len(data):
-        raise ValueError("varint truncated: empty input")
-    first = data[offset]
-    length = _LENGTH_BY_PREFIX[first >> 6]
-    if offset + length > len(data):
+    try:
+        first = data[offset]
+    except IndexError:
+        raise ValueError("varint truncated: empty input") from None
+    prefix = first >> 6
+    if not prefix:
+        return first & 0x3F, offset + 1
+    length = 1 << prefix
+    end = offset + length
+    chunk = data[offset:end]
+    if len(chunk) != length:
         raise ValueError("varint truncated")
-    value = first & 0x3F
-    for i in range(1, length):
-        value = (value << 8) | data[offset + i]
-    return value, offset + length
+    return int.from_bytes(chunk, "big") & _MASK_BY_PREFIX[prefix], end

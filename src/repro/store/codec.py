@@ -143,7 +143,9 @@ def decode_string_table(buf: bytes, offset: int) -> tuple[list[str], int]:
     strings: list[str] = []
     for _ in range(string_count):
         length, offset = decode_varint(buf, offset)
-        strings.append(buf[offset : offset + length].decode("utf-8"))
+        # bytes() so memoryview callers (zero-copy world decode) work;
+        # a slice of bytes is already a fresh object, so no extra copy.
+        strings.append(bytes(buf[offset : offset + length]).decode("utf-8"))
         offset += length
     return strings, offset
 

@@ -43,7 +43,8 @@ def unframe_payload(
     *,
     what: str = "framed",
     error: type[CodecCorruption] = CodecCorruption,
-) -> bytes:
+    copy: bool = True,
+) -> bytes | memoryview:
     """Verify a frame written by :func:`frame_payload`; return its body.
 
     Raises ``error`` (a :class:`CodecCorruption` subclass) on bad magic,
@@ -52,14 +53,22 @@ def unframe_payload(
     the body or checksum fails the CRC, one in the length field
     disagrees with the actual size, one in the magic fails the prefix
     check.
+
+    With ``copy=False`` the body comes back as a read-only
+    ``memoryview`` into ``buf`` instead of a fresh ``bytes`` — the
+    zero-copy path the world-snapshot decoder uses to read directly out
+    of a shared-memory segment.  The CRC is verified either way.
     """
     header_end = len(magic) + _FRAME_HEADER.size
-    if buf[: len(magic)] != magic:
+    if bytes(buf[: len(magic)]) != magic:
         raise error(f"not a {what} buffer (bad magic)")
     if len(buf) < header_end:
         raise error(f"truncated {what} buffer (incomplete frame header)")
     body_len, crc = _FRAME_HEADER.unpack_from(buf, len(magic))
-    body = bytes(buf[header_end:])
+    if copy:
+        body = bytes(buf[header_end:])
+    else:
+        body = memoryview(buf)[header_end:].toreadonly()
     if len(body) != body_len:
         raise error(
             f"corrupt {what} buffer: frame declares {body_len} body bytes, "

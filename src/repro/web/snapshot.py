@@ -153,7 +153,9 @@ def _encode_str(value: str) -> bytes:
 
 def _decode_str(buf: bytes, offset: int) -> tuple[str, int]:
     length, offset = decode_varint(buf, offset)
-    return buf[offset : offset + length].decode("utf-8"), offset + length
+    # bytes() so memoryview input (zero-copy decode) works; a slice of
+    # bytes is already a fresh object, so this adds no copy.
+    return bytes(buf[offset : offset + length]).decode("utf-8"), offset + length
 
 
 def _encode_week(week: Week) -> bytes:
@@ -309,6 +311,14 @@ def decode_world(
 ) -> World:
     """Rehydrate a world from :func:`encode_world` output.
 
+    ``buf`` may be any bytes-like object — in particular a read-only
+    ``memoryview`` over a shared-memory segment
+    (:class:`repro.util.shm.SharedSegment`), which is how persistent
+    pool workers decode the campaign world without ever copying the
+    buffer: the frame is unwrapped zero-copy and every column decode
+    reads straight out of the mapped pages.  The buffer is never
+    written to (property-tested in ``tests/test_shm_pool.py``).
+
     The spec lists must be the ones the snapshot was taken for (they
     default to the calibrated defaults, like :func:`build_world`); the
     embedded fingerprint is re-derived and verified, so a snapshot can
@@ -338,7 +348,9 @@ def decode_world(
     vantages = vantages if vantages is not None else default_vantages()
     overrides = overrides if overrides is not None else default_vantage_overrides()
 
-    buf = unframe_payload(MAGIC, buf, what="world snapshot", error=SnapshotCorruption)
+    buf = unframe_payload(
+        MAGIC, buf, what="world snapshot", error=SnapshotCorruption, copy=False
+    )
     offset = 0
     fingerprint, offset = _decode_str(buf, offset)
 

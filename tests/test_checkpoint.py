@@ -23,6 +23,7 @@ from repro.pipeline.checkpoint import (
 from repro.util.atomic import atomic_write_bytes
 from repro.web.spec import WorldConfig
 
+from tests.conftest import requires_fork
 from tests.test_pipeline_sharding import _assert_runs_equal
 
 SCALE = 6_000
@@ -59,7 +60,9 @@ def uninterrupted():
     return world, _campaign(world)
 
 
-@pytest.mark.parametrize("executor", ["inline", "process"])
+@pytest.mark.parametrize(
+    "executor", ["inline", pytest.param("process", marks=requires_fork)]
+)
 @pytest.mark.parametrize("shards", [1, 2, 4])
 def test_kill_and_resume_matches_uninterrupted(
     tmp_path, uninterrupted, shards, executor

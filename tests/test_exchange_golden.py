@@ -24,6 +24,8 @@ from repro.pipeline.sharding import ShardedScanEngine
 from repro.scanner.results import DomainObservation
 from repro.web.spec import WorldConfig
 
+from tests.conftest import requires_fork
+
 #: Small world for the wide (vantage x family x tcp) matrix...
 MATRIX_SCALE = 40_000
 #: ...and a representative world for the deep end-to-end comparisons.
@@ -163,6 +165,7 @@ def test_sharded_cached_invariant_under_worker_permutation(fresh_per_site_runs):
     assert world_ref.clock.now == world.clock.now
 
 
+@requires_fork
 def test_fork_pool_cached_matches_fresh_serial(fresh_per_site_runs):
     """Workers replay from their fork-inherited caches; still golden."""
     world_ref, references = fresh_per_site_runs

@@ -17,6 +17,7 @@ from repro.pipeline.engine import ScanPhaseStats, ShardResultMissing
 from repro.pipeline.sharding import ShardedScanEngine
 from repro.web.spec import WorldConfig
 
+from tests.conftest import requires_fork
 from tests.test_pipeline_sharding import _assert_runs_equal
 
 SCALE = 6_000
@@ -53,6 +54,7 @@ def _run_faulted(plan, *, shards=2, max_shard_retries=2, shard_timeout=3.0):
     return world, run, stats, engine
 
 
+@requires_fork
 def test_worker_crash_is_retried_and_results_match(serial_per_site):
     world_ref, reference = serial_per_site
     week = world_ref.config.reference_week
@@ -66,6 +68,7 @@ def test_worker_crash_is_retried_and_results_match(serial_per_site):
     assert engine.supervision.fallbacks == 0
 
 
+@requires_fork
 @pytest.mark.parametrize("mode", ["bitflip", "truncate"])
 def test_corrupt_result_buffer_is_retried_and_results_match(serial_per_site, mode):
     world_ref, reference = serial_per_site
@@ -79,6 +82,7 @@ def test_corrupt_result_buffer_is_retried_and_results_match(serial_per_site, mod
     assert stats.shard_retries == 1
 
 
+@requires_fork
 def test_stalled_shard_times_out_and_results_match(serial_per_site):
     world_ref, reference = serial_per_site
     week = world_ref.config.reference_week
@@ -90,6 +94,7 @@ def test_stalled_shard_times_out_and_results_match(serial_per_site):
     assert stats.shard_retries >= 1
 
 
+@requires_fork
 def test_persistent_crash_falls_back_inline(serial_per_site):
     """A shard that fails every pool attempt re-executes in the parent."""
     world_ref, reference = serial_per_site

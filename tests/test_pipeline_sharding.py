@@ -19,6 +19,8 @@ from repro.pipeline.sharding import ShardedScanEngine
 from repro.scanner.results import DomainObservation
 from repro.web.spec import WorldConfig
 
+from tests.conftest import requires_fork
+
 SCALE = 6_000
 
 OBSERVATION_FIELDS = [f.name for f in dataclasses.fields(DomainObservation)]
@@ -78,6 +80,7 @@ def test_sharded_results_invariant_under_worker_permutation(serial_per_site):
     assert world_ref.clock.now == world.clock.now
 
 
+@requires_fork
 def test_sharded_process_executor_matches(serial_per_site):
     world_ref, reference = serial_per_site
     world = _build()

@@ -25,6 +25,8 @@ from repro.scanner.results import DomainObservation
 from repro.store.views import ObservationView, StoreObservations, StoreWeeklyRun
 from repro.web.spec import WorldConfig
 
+from tests.conftest import requires_fork
+
 #: Small world for the wide (vantage x family x tcp) matrix...
 MATRIX_SCALE = 40_000
 #: ...and a representative world for the deep end-to-end comparisons.
@@ -162,6 +164,7 @@ def test_sharded_store_invariant_under_worker_permutation(per_site_objects_run):
     assert world_ref.clock.now == world.clock.now
 
 
+@requires_fork
 def test_sharded_store_fork_pool_matches(per_site_objects_run):
     """Fork-pool workers marshal through the codec; results still golden."""
     world_ref, reference = per_site_objects_run

@@ -30,6 +30,8 @@ from repro.web.providers import (
 )
 from repro.web.spec import WorldConfig
 
+from tests.conftest import requires_fork
+
 #: Coarse world for the wide (vantage x family x shards) matrix.
 MATRIX_SCALE = 40_000
 #: Representative world for the deep campaign/analysis comparisons.
@@ -179,7 +181,9 @@ def test_rehydrated_matches_fresh_for_every_vantage_and_family():
 
 
 @pytest.mark.parametrize("shards,executor", [
-    (1, "inline"), (2, "inline"), (4, "inline"), (2, "process"), (4, "process"),
+    (1, "inline"), (2, "inline"), (4, "inline"),
+    pytest.param(2, "process", marks=requires_fork),
+    pytest.param(4, "process", marks=requires_fork),
 ])
 def test_rehydrated_campaign_and_analysis_identical(shards, executor):
     """Sharded campaigns + longitudinal analysis, both executors."""
