@@ -9,6 +9,11 @@ Commands mirror the measurement phases of the paper:
 * ``trace``        — tracebox one provider/group's path.
 * ``l4s``          — the §9.3 L4S re-marking experiment.
 * ``grease``       — the §9.3 ECN greasing study.
+
+Reports print to stdout; diagnostics (cache/supervision stats, the
+``--progress`` heartbeat, obs-output notes) go to stderr, silenced by
+``--quiet``.  ``scan`` and ``campaign`` take ``--metrics-out`` /
+``--trace-out`` for the telemetry layer (docs/observability.md).
 """
 
 from __future__ import annotations
@@ -45,6 +50,70 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
              "rehydrated on later runs instead of being rebuilt "
              "(docs/architecture.md#world-lifecycle)",
     )
+
+
+def _add_obs_args(parser: argparse.ArgumentParser, *, progress: bool = True) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the run's metrics registry and span summaries as "
+             "schema-versioned JSON (docs/observability.md)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write the run's span tree as Chrome trace-event JSON, "
+             "loadable in Perfetto or chrome://tracing",
+    )
+    if progress:
+        parser.add_argument(
+            "--progress",
+            action="store_true",
+            help="per-week heartbeat on stderr: weeks done, domain "
+                 "throughput, cache hit rate, retries/fallbacks",
+        )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress stderr diagnostics (stats lines and the --progress "
+             "heartbeat); reports still print to stdout",
+    )
+
+
+def _note(args, message: str) -> None:
+    """A stderr diagnostic line, silenced by ``--quiet``."""
+    if not getattr(args, "quiet", False):
+        print(message, file=sys.stderr)
+
+
+def _obs_setup(args):
+    """A :class:`repro.obs.Telemetry` when any obs output is requested."""
+    if args.metrics_out is None and args.trace_out is None:
+        return None
+    from repro.obs import Telemetry
+
+    return Telemetry()
+
+
+def _obs_finish(args, telemetry) -> None:
+    """Write ``--metrics-out`` / ``--trace-out`` from the finished run."""
+    if telemetry is None:
+        return
+    from repro.obs.export import write_metrics, write_trace
+    from repro.obs.metrics import global_registry
+
+    # World-cache and snapshot metrics accumulate on the process-global
+    # registry (repro.web.snapshot instruments acquire_world there);
+    # fold them in so one file carries the whole run.
+    telemetry.registry.merge(global_registry())
+    if args.metrics_out is not None:
+        write_metrics(args.metrics_out, telemetry.registry, telemetry.tracer)
+        _note(args, f"metrics: {args.metrics_out}")
+    if args.trace_out is not None:
+        events = write_trace(args.trace_out, telemetry.tracer)
+        _note(args, f"trace: {args.trace_out} ({events} events)")
 
 
 def _build_world(args) -> "repro.World":
@@ -87,8 +156,15 @@ def _parse_week(text: str) -> Week:
 def _cmd_scan(args) -> int:
     world = _build_world(args)
     week = args.week if args.week else world.config.reference_week
+    telemetry = _obs_setup(args)
+    stats = ScanPhaseStats() if telemetry is not None else None
     run = repro.run_weekly_scan(
-        world, week, run_tracebox=not args.no_tracebox, backend=args.backend
+        world,
+        week,
+        run_tracebox=not args.no_tracebox,
+        backend=args.backend,
+        telemetry=telemetry,
+        phase_stats=stats,
     )
     ipv6 = None
     if args.ipv6:
@@ -102,8 +178,13 @@ def _cmd_scan(args) -> int:
             ip_version=6,
             populations=("cno",),
             backend=args.backend,
+            telemetry=telemetry,
+            phase_stats=stats,
         )
+    if telemetry is not None:
+        stats.publish(telemetry.registry)
     print(reference_report(run, ipv6))
+    _obs_finish(args, telemetry)
     return 0
 
 
@@ -135,6 +216,13 @@ def _cmd_campaign(args) -> int:
         return 2
     world = _build_world(args)
     stats = ScanPhaseStats()
+    telemetry = _obs_setup(args)
+    progress = None
+    if args.progress and not args.quiet:
+        from repro.obs import CampaignProgress
+        from repro.pipeline.campaign import campaign_weeks
+
+        progress = CampaignProgress(len(campaign_weeks(world, args.cadence)))
     campaign = repro.run_campaign(
         world,
         cadence_weeks=args.cadence,
@@ -149,23 +237,28 @@ def _cmd_campaign(args) -> int:
         resume=args.resume,
         shard_timeout=args.shard_timeout,
         max_shard_retries=args.shard_retries,
+        telemetry=telemetry,
+        progress=progress,
     )
     print(longitudinal_report(campaign))
     attempts = stats.exchange_cache_hits + stats.exchange_cache_misses
     if attempts or stats.exchange_cache_uncacheable:
-        print(
+        _note(
+            args,
             f"exchange cache: {stats.exchange_cache_hits} hits / "
             f"{stats.exchange_cache_misses} misses / "
             f"{stats.exchange_cache_uncacheable} uncacheable "
-            f"({100 * stats.exchange_cache_hit_rate:.1f}% hit rate)"
+            f"({100 * stats.exchange_cache_hit_rate:.1f}% hit rate)",
         )
     if stats.shard_retries or stats.shard_timeouts or stats.shard_failures:
-        print(
+        _note(
+            args,
             f"shard supervision: {stats.shard_retries} retries / "
             f"{stats.shard_timeouts} timeouts / "
             f"{stats.shard_failures} failures (run recovered; results "
-            f"are identical to a clean run)"
+            f"are identical to a clean run)",
         )
+    _obs_finish(args, telemetry)
     return 0
 
 
@@ -259,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="results layer for the run (golden-identical either way; "
              "single scans default to eager observation objects)",
     )
+    _add_obs_args(scan, progress=False)
     scan.set_defaults(func=_cmd_scan)
 
     campaign = sub.add_parser("campaign", help="longitudinal Figures 3/4/8")
@@ -347,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool re-dispatches per failed shard before the inline "
              "fallback (default 2)",
     )
+    _add_obs_args(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     distributed = sub.add_parser("distributed", help="global Figure 7")

@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exchange.core import ExchangeInputs, QUIC_EXCHANGE, SCAN_TTL
+from repro.obs.metrics import safe_ratio
 
 #: Key sentinels for the constant-outcome cases.
 _NO_ADDRESS = "no-address"
@@ -72,8 +73,9 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
-        attempts = self.hits + self.misses
-        return self.hits / attempts if attempts else 0.0
+        # Registry convention: derived ratios are 0.0 on an empty
+        # denominator (repro.obs.metrics.safe_ratio).
+        return safe_ratio(self.hits, self.hits + self.misses)
 
 
 class _TokenTable:

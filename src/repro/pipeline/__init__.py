@@ -1,6 +1,6 @@
 """Measurement pipeline: weekly scans, campaigns, distributed vantages."""
 
-from repro.pipeline.campaign import Campaign, run_campaign
+from repro.pipeline.campaign import Campaign, campaign_weeks, run_campaign
 from repro.pipeline.checkpoint import CampaignCheckpointer, campaign_checkpoint_key
 from repro.pipeline.engine import (
     ScanEngine,
@@ -23,6 +23,7 @@ __all__ = [
     "Campaign",
     "CampaignCheckpointer",
     "campaign_checkpoint_key",
+    "campaign_weeks",
     "run_campaign",
     "ScanEngine",
     "ScanPhaseStats",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING
 
 from repro.pipeline.engine import ShardResultMissing, SiteResultCache
@@ -68,6 +68,23 @@ class Campaign:
         return min(self.runs, key=lambda run: abs(run.week - week))
 
 
+def campaign_weeks(world: World, cadence_weeks: int = 4) -> list[Week]:
+    """The default week series: campaign start to the reference week.
+
+    Shared by :func:`run_campaign` and callers that need the series
+    length up front (the CLI sizes its ``--progress`` heartbeat from
+    it before the campaign starts).
+    """
+    weeks = []
+    week = world.config.start_week
+    while week <= world.config.reference_week:
+        weeks.append(week)
+        week = week + cadence_weeks
+    if weeks[-1] != world.config.reference_week:
+        weeks.append(world.config.reference_week)
+    return weeks
+
+
 def run_campaign(
     world: World,
     *,
@@ -90,6 +107,8 @@ def run_campaign(
     shard_timeout: float | None = None,
     max_shard_retries: int | None = None,
     engine=None,
+    telemetry=None,
+    progress=None,
 ) -> Campaign:
     """Scan the world repeatedly over the measurement period.
 
@@ -157,6 +176,18 @@ def run_campaign(
     ``shard_timeout`` / ``max_shard_retries`` tune the sharded engine's
     worker supervision (docs/robustness.md); ``fault_plan`` injects
     deterministic faults (tests only, :mod:`repro.faults`).
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) instruments the run:
+    campaign → week → phase spans on the registry's tracer, worker
+    shard/ticket spans re-parented under their dispatching week, and
+    the campaign's counters published into the registry at the end
+    (docs/observability.md).  Instrumentation never changes results —
+    golden tests pin instrumented campaigns byte-identical to
+    uninstrumented ones.  ``progress`` (a
+    :class:`repro.obs.CampaignProgress`) emits the per-week stderr
+    heartbeat.  Both default off; the engine's ``telemetry`` attribute
+    is restored afterwards, so a shared ``world.scan_engine()`` never
+    leaks instrumentation into later runs.
     """
     from repro.pipeline.sharding import ShardedScanEngine, ShmPoolScanEngine
 
@@ -215,13 +246,7 @@ def run_campaign(
             "pass shards=N to run a supervised sharded site phase"
         )
     if weeks is None:
-        weeks = []
-        week = world.config.start_week
-        while week <= world.config.reference_week:
-            weeks.append(week)
-            week = week + cadence_weeks
-        if weeks[-1] != world.config.reference_week:
-            weeks.append(world.config.reference_week)
+        weeks = campaign_weeks(world, cadence_weeks)
     owns_engine = engine is None
     supervision = {}
     if shard_timeout is not None:
@@ -276,7 +301,10 @@ def run_campaign(
             world, vantage_id=vantage_id, populations=populations
         )
         checkpointer = CampaignCheckpointer(
-            checkpoint_dir, key, fault_plan=fault_plan
+            checkpoint_dir,
+            key,
+            fault_plan=fault_plan,
+            registry=telemetry.registry if telemetry is not None else None,
         )
     # Materialise the lazy world sections the series will touch before
     # any timed phase runs: the site-phase/attribution split in
@@ -299,6 +327,36 @@ def run_campaign(
             engine.prefetch_weeks(compute_weeks, vantage_id, populations=populations)
     reuse = SiteResultCache() if reuse_site_results else None
     campaign = Campaign()
+    # Instrumentation setup.  phase_stats doubles as the registry
+    # source: when the caller did not pass one, an internal split
+    # accumulates the same counters for publication.  Baselines are
+    # snapshotted so a caller-supplied stats object (or a warm engine)
+    # publishes only THIS campaign's deltas.
+    stats = phase_stats
+    tracer = None
+    stats_base = None
+    supervision_base = None
+    prior_telemetry = engine.telemetry
+    if telemetry is not None:
+        if stats is None:
+            from repro.pipeline.engine import ScanPhaseStats
+
+            stats = ScanPhaseStats()
+        stats_base = replace(stats)
+        if isinstance(engine, ShardedScanEngine):
+            supervision_base = engine.supervision.snapshot()
+        engine.telemetry = telemetry
+        tracer = telemetry.tracer
+    campaign_span = (
+        tracer.begin("campaign", "campaign", weeks=len(weeks), vantage=vantage_id)
+        if tracer is not None
+        else None
+    )
+    weeks_done = 0
+    # Domain totals come from the finished runs (len() on the store
+    # backend's lazy views is O(1)) — summing world.domains up front
+    # costs more than the whole telemetry layer at bench scales.
+    domains_scanned = 0
     try:
         for week in weeks:
             replay_entries = preloaded.get(week)
@@ -310,7 +368,15 @@ def run_campaign(
                 run_tracebox=run_tracebox,
                 reuse=reuse,
                 backend=backend,
-                phase_stats=phase_stats,
+                phase_stats=stats,
+            )
+            week_span = (
+                tracer.begin(
+                    "week", "campaign",
+                    week=str(week), resumed=replay_entries is not None,
+                )
+                if tracer is not None
+                else None
             )
             try:
                 run = engine.run_week(
@@ -333,9 +399,50 @@ def run_campaign(
             campaign.add_run(run)
             if checkpointer is not None and entry_sink is not None:
                 checkpointer.store(week, entry_sink)
+            if tracer is not None:
+                tracer.end(week_span)
+            weeks_done += 1
+            if progress is not None or telemetry is not None:
+                domains_scanned += len(run.observations)
+            if progress is not None:
+                cache = engine.exchange_cache
+                sup = (
+                    engine.supervision
+                    if isinstance(engine, ShardedScanEngine)
+                    else None
+                )
+                progress.week_done(
+                    domains=domains_scanned,
+                    cache_hits=cache.stats.hits if cache is not None else 0,
+                    cache_misses=cache.stats.misses if cache is not None else 0,
+                    retries=sup.retries if sup is not None else 0,
+                    fallbacks=sup.fallbacks if sup is not None else 0,
+                )
             if fault_plan is not None:
                 fault_plan.after_week(week)
+        if telemetry is not None:
+            registry = telemetry.registry
+            delta = type(stats)(
+                **{
+                    f.name: getattr(stats, f.name) - getattr(stats_base, f.name)
+                    for f in fields(stats)
+                }
+            )
+            delta.publish(registry)
+            registry.add_counter("campaign.weeks", weeks_done)
+            registry.add_counter("campaign.domains", domains_scanned)
+            if supervision_base is not None:
+                from repro.pipeline.sharding import SupervisionStats
+
+                now = engine.supervision.snapshot()
+                SupervisionStats(
+                    *(a - b for a, b in zip(now, supervision_base))
+                ).publish(registry)
     finally:
+        if tracer is not None:
+            campaign_span.attrs["domains"] = domains_scanned
+            tracer.end(campaign_span)
+        engine.telemetry = prior_telemetry
         # Caller-supplied engines outlive the campaign (warm pools are
         # the point of passing one in); self-built sharded/pool engines
         # tear down here — on success, injected aborts and crashed

@@ -122,11 +122,19 @@ class CampaignCheckpointer:
         key: str,
         *,
         fault_plan=None,
+        registry=None,
     ):
         self.directory = Path(directory)
         self.key = key
         #: Test-only corruption hook (:class:`repro.faults.FaultPlan`).
         self.fault_plan = fault_plan
+        #: Optional :class:`repro.obs.MetricsRegistry`; when set, store
+        #: and load outcomes count under ``campaign.checkpoint.*``.
+        self.registry = registry
+
+    def _count(self, name: str) -> None:
+        if self.registry is not None:
+            self.registry.add_counter(name, 1)
 
     def path_for(self, week: Week) -> Path:
         return self.directory / self.key[:16] / f"week-{week.year}-W{week.week:02d}.ecnc"
@@ -136,6 +144,7 @@ class CampaignCheckpointer:
         buf = encode_checkpoint(self.key, week, entries)
         if self.fault_plan is not None:
             buf = self.fault_plan.mangle_checkpoint_bytes(buf, week)
+        self._count("campaign.checkpoint.weeks_stored")
         return atomic_write_bytes(self.path_for(week), buf)
 
     def load(self, week: Week) -> list | None:
@@ -150,18 +159,23 @@ class CampaignCheckpointer:
         try:
             buf = path.read_bytes()
         except OSError:
+            self._count("campaign.checkpoint.misses")
             return None
         try:
             key, stored_week, entries = decode_checkpoint(buf)
         except CodecCorruption:
+            self._count("campaign.checkpoint.corrupt")
             return None
         except ValueError:
             # Damage inside the verified frame cannot happen (the CRC
             # covers the whole body), but a foreign-yet-well-framed file
             # decodes to garbage varints; treat it the same way.
+            self._count("campaign.checkpoint.corrupt")
             return None
         if key != self.key or stored_week != week:
+            self._count("campaign.checkpoint.misses")
             return None
+        self._count("campaign.checkpoint.weeks_resumed")
         return entries
 
 

@@ -62,6 +62,7 @@ from repro.exchange import (
 )
 from repro.exchange.core import quic_exchange_inputs, tcp_exchange_inputs
 from repro.netsim.clock import Clock
+from repro.obs.metrics import safe_ratio
 from repro.pipeline.runs import WeeklyRun, _run_traces, ensure_site_record
 from repro.quic.connection import QuicConnectionResult
 from repro.scanner.quic_scan import QuicScanConfig, quic_client_config, scan_site_quic
@@ -217,8 +218,42 @@ class ScanPhaseStats:
 
     @property
     def exchange_cache_hit_rate(self) -> float:
-        attempts = self.exchange_cache_hits + self.exchange_cache_misses
-        return self.exchange_cache_hits / attempts if attempts else 0.0
+        # Registry convention: derived ratios are 0.0 on an empty
+        # denominator (repro.obs.metrics.safe_ratio).
+        return safe_ratio(
+            self.exchange_cache_hits,
+            self.exchange_cache_hits + self.exchange_cache_misses,
+        )
+
+    def publish(self, registry) -> None:
+        """Publish this split into a :class:`MetricsRegistry`.
+
+        The registry namespace (docs/observability.md) supersedes the
+        ad-hoc stdout prints: phase seconds land as gauges under
+        ``campaign.phase.*``, cache and supervision counters under
+        ``campaign.exchange_cache.*`` / ``campaign.supervision.*``,
+        with the hit rate as a derived ratio over the counters.
+        """
+        registry.gauge("campaign.phase.site_seconds").set(self.site_phase_seconds)
+        registry.gauge("campaign.phase.attribution_seconds").set(self.attribution_seconds)
+        registry.gauge("campaign.phase.analysis_seconds").set(self.analysis_seconds)
+        registry.add_counter("campaign.exchange_cache.hits", self.exchange_cache_hits)
+        registry.add_counter("campaign.exchange_cache.misses", self.exchange_cache_misses)
+        registry.add_counter(
+            "campaign.exchange_cache.uncacheable", self.exchange_cache_uncacheable
+        )
+        registry.add_counter(
+            "campaign.exchange_cache.attempts",
+            self.exchange_cache_hits + self.exchange_cache_misses,
+        )
+        registry.ratio(
+            "campaign.exchange_cache.hit_rate",
+            "campaign.exchange_cache.hits",
+            "campaign.exchange_cache.attempts",
+        )
+        # Supervision counters publish from the engine's richer
+        # SupervisionStats (which also has fallbacks), not from the
+        # shard_* mirror here — one source per registry name.
 
     def merge_cache_counters(self, other: "ScanPhaseStats") -> None:
         """Fold another split's exchange-cache counters into this one."""
@@ -270,6 +305,10 @@ class ScanEngine:
         self.exchange_cache: ExchangeCache | None = (
             ExchangeCache() if exchange_cache else None
         )
+        #: Optional :class:`repro.obs.Telemetry`.  ``None`` (the
+        #: default) keeps every hot path branch-free except one
+        #: attribute test per week; campaigns set and restore it.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Planning
@@ -882,6 +921,13 @@ class ScanEngine:
                 (site_index, kind): (result, elapsed)
                 for site_index, kind, result, elapsed in replay_entries
             }
+        telemetry = self.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        site_span = (
+            tracer.begin("site", "phase", week=str(week), events=len(events))
+            if tracer is not None
+            else None
+        )
         self._execute_site_phase(
             events,
             week,
@@ -897,6 +943,8 @@ class ScanEngine:
             populations=tuple(populations),
             include_tcp=include_tcp,
         )
+        if tracer is not None:
+            tracer.end(site_span)
         if phase_stats is not None:
             now = perf_counter()
             phase_stats.site_phase_seconds += now - phase_start
@@ -909,10 +957,17 @@ class ScanEngine:
 
         # Phase 2: attribute per-site results to domains.
         share = world.adoption_share(week)
+        attr_span = (
+            tracer.begin("attribution", "phase", week=str(week), backend=backend)
+            if tracer is not None
+            else None
+        )
         if backend == "store":
             self._attribute_store(run, plan, records, quic_capable, include_tcp, share)
         else:
             self._attribute_objects(run, plan, records, quic_capable, include_tcp, share)
+        if tracer is not None:
+            tracer.end(attr_span)
         if phase_stats is not None:
             phase_stats.attribution_seconds += perf_counter() - phase_start
 

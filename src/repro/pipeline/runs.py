@@ -79,6 +79,8 @@ def run_weekly_scan(
     tcp_config: TcpScanConfig | None = None,
     run_tracebox: bool = False,
     backend: str = "objects",
+    telemetry=None,
+    phase_stats=None,
 ) -> WeeklyRun:
     """Scan every domain of the selected populations for one week.
 
@@ -86,18 +88,40 @@ def run_weekly_scan(
     :mod:`repro.store` instead of materialising per-domain objects —
     field-identical results either way (campaigns default to the store;
     single scans keep the eager objects).
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) wraps the run in a
+    ``week`` span with ``site``/``attribution`` phase children;
+    ``phase_stats`` accumulates the wall-time split as in campaigns.
+    The shared engine's telemetry attribute is restored afterwards.
     """
-    return world.scan_engine().run_week(
-        week,
-        vantage_id,
-        ip_version=ip_version,
-        populations=populations,
-        include_tcp=include_tcp,
-        quic_config=quic_config,
-        tcp_config=tcp_config,
-        run_tracebox=run_tracebox,
-        backend=backend,
+    engine = world.scan_engine()
+    prior_telemetry = engine.telemetry
+    tracer = None
+    if telemetry is not None:
+        engine.telemetry = telemetry
+        tracer = telemetry.tracer
+    week_span = (
+        tracer.begin("week", "campaign", week=str(week), resumed=False)
+        if tracer is not None
+        else None
     )
+    try:
+        return engine.run_week(
+            week,
+            vantage_id,
+            ip_version=ip_version,
+            populations=populations,
+            include_tcp=include_tcp,
+            quic_config=quic_config,
+            tcp_config=tcp_config,
+            run_tracebox=run_tracebox,
+            backend=backend,
+            phase_stats=phase_stats,
+        )
+    finally:
+        if tracer is not None:
+            tracer.end(week_span)
+        engine.telemetry = prior_telemetry
 
 
 def run_weekly_scan_reference(

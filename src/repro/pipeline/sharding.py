@@ -61,6 +61,7 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.obs.spans import Tracer, decode_obs_blob, encode_obs_blob
 from repro.pipeline.engine import (
     QUIC_EVENT,
     ScanEngine,
@@ -71,7 +72,7 @@ from repro.scanner.quic_scan import QuicScanConfig
 from repro.scanner.tcp_scan import TcpScanConfig
 from repro.store.codec import (
     CodecCorruption,
-    decode_shard_payload,
+    decode_shard_payload_obs,
     encode_shard_results,
 )
 from repro.util.weeks import Week
@@ -105,6 +106,51 @@ class SupervisionStats:
 
     def snapshot(self) -> tuple[int, int, int, int]:
         return (self.retries, self.timeouts, self.failures, self.fallbacks)
+
+    def publish(self, registry) -> None:
+        """Publish into a registry under ``campaign.supervision.*``.
+
+        The counters materialise even at zero: the CLI prints all four
+        for every supervised run, so the metrics report must reproduce
+        them — an absent counter and a clean run are different facts.
+        """
+        registry.counter("campaign.supervision.retries").value += self.retries
+        registry.counter("campaign.supervision.timeouts").value += self.timeouts
+        registry.counter("campaign.supervision.failures").value += self.failures
+        registry.counter("campaign.supervision.fallbacks").value += self.fallbacks
+
+
+def _ingest_obs(telemetry, blob: bytes) -> None:
+    """Fold one worker obs blob into the parent's telemetry.
+
+    Shipped spans re-parent under the tracer's *current* span — the
+    site-phase span of the week being merged — so every worker
+    shard/ticket span hangs off the week that dispatched it.  Counter
+    deltas (``worker.*``) accumulate into the registry.
+    """
+    spans, deltas = decode_obs_blob(blob)
+    telemetry.tracer.adopt(spans, telemetry.tracer.current())
+    if deltas:
+        telemetry.registry.apply_counter_deltas(deltas)
+
+
+def _worker_obs_blob(tracer: Tracer, cache_delta: tuple[int, int, int]) -> bytes:
+    """Encode a worker's spans + exchange-cache delta as one obs blob.
+
+    The delta rides under ``worker.exchange_cache.*`` — accounting of
+    what *worker processes* executed, distinct from the merged
+    ``campaign.exchange_cache.*`` counters folded from the trailer
+    varints (which also cover inline and replayed work).
+    """
+    deltas = {}
+    hits, misses, uncacheable = cache_delta
+    if hits:
+        deltas["worker.exchange_cache.hits"] = hits
+    if misses:
+        deltas["worker.exchange_cache.misses"] = misses
+    if uncacheable:
+        deltas["worker.exchange_cache.uncacheable"] = uncacheable
+    return encode_obs_blob(tracer.spans, deltas)
 
 
 class ShardedScanEngine(ScanEngine):
@@ -234,7 +280,18 @@ class ShardedScanEngine(ScanEngine):
         order = self.shard_order if self.shard_order is not None else range(len(shards))
         merged: dict[tuple[int, int], tuple[object, float]] = {}
         if self.executor == "inline":
+            telemetry = self.telemetry
+            tracer = telemetry.tracer if telemetry is not None else None
             for shard_index in order:
+                span = (
+                    tracer.begin(
+                        "shard", "worker",
+                        shard=shard_index, week=str(week),
+                        events=len(shards[shard_index]),
+                    )
+                    if tracer is not None
+                    else None
+                )
                 for entry in self._run_shard(
                     shards[shard_index],
                     week,
@@ -245,6 +302,8 @@ class ShardedScanEngine(ScanEngine):
                     reuse,
                 ):
                     merged[(entry[0], entry[1])] = (entry[2], entry[3])
+                if tracer is not None:
+                    tracer.end(span)
         else:
             self._execute_shards_supervised(
                 shards, order, week, vantage_id, ip_version,
@@ -309,6 +368,7 @@ class ShardedScanEngine(ScanEngine):
             )
             return pool.apply_async(_pool_run_shard, (payload,))
 
+        telemetry = self.telemetry
         active = [i for i in order if shards[i]]
         inflight = {shard_index: dispatch(shard_index, 0) for shard_index in active}
         for shard_index in active:
@@ -316,7 +376,7 @@ class ShardedScanEngine(ScanEngine):
             for attempt in range(self.max_shard_retries + 1):
                 try:
                     buffer = inflight[shard_index].get(self.shard_timeout)
-                    entries, cache_stats = decode_shard_payload(buffer)
+                    entries, cache_stats, obs = decode_shard_payload_obs(buffer)
                 except multiprocessing.TimeoutError:
                     self.supervision.timeouts += 1
                 except CodecCorruption:
@@ -328,6 +388,8 @@ class ShardedScanEngine(ScanEngine):
                 else:
                     if self.exchange_cache is not None:
                         self.exchange_cache.stats.add(*cache_stats)
+                    if obs and telemetry is not None:
+                        _ingest_obs(telemetry, obs)
                     break
                 if attempt < self.max_shard_retries:
                     self.supervision.retries += 1
@@ -339,10 +401,22 @@ class ShardedScanEngine(ScanEngine):
                 # the parent — slower, but immune to a wedged pool.
                 self.supervision.retries += 1
                 self.supervision.fallbacks += 1
+                span = (
+                    telemetry.tracer.begin(
+                        "shard", "worker",
+                        shard=shard_index, week=str(week),
+                        attempt=self.max_shard_retries, fallback=True,
+                        events=len(shards[shard_index]),
+                    )
+                    if telemetry is not None
+                    else None
+                )
                 entries = self._run_shard(
                     shards[shard_index], week, vantage_id, ip_version,
                     quic_config, tcp_config,
                 )
+                if telemetry is not None:
+                    telemetry.tracer.end(span)
             for site_index, kind, result, elapsed in entries:
                 merged[(site_index, kind)] = (result, elapsed)
 
@@ -468,15 +542,27 @@ def _pool_run_shard(payload) -> bytes:
         fault_plan.before_shard(shard=shard_index, week=week, attempt=attempt)
     cache = engine.exchange_cache
     base = cache.stats.snapshot() if cache is not None else (0, 0, 0)
+    # Workers always record their one shard span — a single perf_counter
+    # pair and ~100 blob bytes per shard, far below measurement noise —
+    # so instrumented parents never need to rebuild the pool to start
+    # tracing.  The parent ingests the blob only when telemetry is on.
+    tracer = Tracer()
+    span = tracer.begin(
+        "shard", "worker",
+        shard=shard_index, attempt=attempt, week=str(week), events=len(events),
+    )
     entries = engine._run_shard(
         events, week, vantage_id, ip_version, quic_config, tcp_config
     )
+    tracer.end(span)
     if cache is not None:
         now = cache.stats.snapshot()
         delta = (now[0] - base[0], now[1] - base[1], now[2] - base[2])
     else:
         delta = (0, 0, 0)
-    buffer = encode_shard_results(entries, cache_stats=delta)
+    buffer = encode_shard_results(
+        entries, cache_stats=delta, obs=_worker_obs_blob(tracer, delta)
+    )
     if fault_plan is not None:
         buffer = fault_plan.mangle_shard_buffer(
             buffer, shard=shard_index, week=week, attempt=attempt
@@ -639,6 +725,11 @@ class ShmPoolScanEngine(ShardedScanEngine):
         self._collected: dict[tuple, dict] = {}
         #: (week, spec) -> worker exchange-cache stats folded so far.
         self._collected_stats: dict[tuple, tuple[int, int, int]] = {}
+        #: (week, spec) -> worker obs blobs harvested but not yet
+        #: ingested.  A ticket may cover many weeks while the tracer is
+        #: inside *one* week's site phase, so blobs wait here until the
+        #: week they describe is merged (and its span is current).
+        self._collected_obs: dict[tuple, list[bytes]] = {}
         #: (week, spec) -> (merged entries, stats): weeks this parent
         #: already decoded once.  The parent-side peer of the worker
         #: ticket memo — a persistent engine serving repeat campaigns
@@ -763,6 +854,13 @@ class ShmPoolScanEngine(ShardedScanEngine):
             vantage_id, ip_version, populations, include_tcp, quic_config, tcp_config
         )
         merged = self._collect_week(week, spec)
+        # Always drain the stash (bounded memory either way); ingest the
+        # week's worker spans under the current site-phase span only
+        # when this run is instrumented.
+        telemetry = self.telemetry
+        for blob in self._collected_obs.pop((week, spec), ()):
+            if telemetry is not None:
+                _ingest_obs(telemetry, blob)
         span = self._site_span()
         self._apply_replay(
             events,
@@ -835,9 +933,11 @@ class ShmPoolScanEngine(ShardedScanEngine):
                 # the parent — slower, but immune to a wedged pool.
                 self.supervision.retries += 1
                 self.supervision.fallbacks += 1
-                week_entries = self._run_ticket_inline(ticket, state.spec)
+                week_entries = self._run_ticket_inline(
+                    ticket, state.spec, attempt=state.attempt
+                )
                 break
-        for week, (entries, stats) in week_entries.items():
+        for week, (entries, stats, obs) in week_entries.items():
             key = (week, state.spec)
             target = self._collected.setdefault(key, {})
             for site_index, kind, result, elapsed in entries:
@@ -846,10 +946,12 @@ class ShmPoolScanEngine(ShardedScanEngine):
             self._collected_stats[key] = tuple(
                 a + b for a, b in zip(prior, stats)
             )
+            if obs:
+                self._collected_obs.setdefault(key, []).append(obs)
         state.done = True
 
     def _decode_ticket_payload(self, ticket: Ticket, payload) -> dict:
-        """Validate + decode one ticket result into {week: (entries, stats)}."""
+        """Validate + decode one ticket result into {week: (entries, stats, obs)}."""
         if (
             not isinstance(payload, list)
             or tuple(week for week, _ in payload) != ticket.weeks
@@ -861,8 +963,8 @@ class ShmPoolScanEngine(ShardedScanEngine):
         week_entries = {}
         totals = (0, 0, 0)
         for week, buffer in payload:
-            entries, cache_stats = decode_shard_payload(buffer)
-            week_entries[week] = (entries, tuple(cache_stats))
+            entries, cache_stats, obs = decode_shard_payload_obs(buffer)
+            week_entries[week] = (entries, tuple(cache_stats), obs)
             totals = tuple(a + b for a, b in zip(totals, cache_stats))
         # Fold only after every buffer decoded: a corrupt week must not
         # half-account a discarded attempt.
@@ -870,9 +972,10 @@ class ShmPoolScanEngine(ShardedScanEngine):
             self.exchange_cache.stats.add(*totals)
         return week_entries
 
-    def _run_ticket_inline(self, ticket: Ticket, spec: tuple) -> dict:
+    def _run_ticket_inline(self, ticket: Ticket, spec: tuple, *, attempt: int = 0) -> dict:
         (vantage_id, ip_version, populations, include_tcp,
          quic_config, tcp_config) = spec
+        instrumented = self.telemetry is not None
         week_entries = {}
         for week in ticket.weeks:
             events = self.site_events(
@@ -880,12 +983,31 @@ class ShmPoolScanEngine(ShardedScanEngine):
                 populations=populations, include_tcp=include_tcp,
             )
             mine = [e for e in events if ticket.site_lo <= e.site_index < ticket.site_hi]
+            # Fallback spans are recorded into a throwaway tracer and
+            # stashed as blobs like worker spans: a multi-week ticket is
+            # harvested inside *one* week's site phase, so recording
+            # directly into the live tracer would mis-parent the other
+            # weeks.  The blob routes each span to its own week's merge.
+            tracer = Tracer() if instrumented else None
+            if tracer is not None:
+                span = tracer.begin(
+                    "ticket", "worker",
+                    ticket=ticket.index, attempt=attempt, fallback=True,
+                    week=str(week), site_lo=ticket.site_lo,
+                    site_hi=ticket.site_hi, events=len(mine),
+                )
             entries = _execute_entries(
                 self, mine, week, vantage_id, ip_version, quic_config, tcp_config
             )
+            if tracer is not None:
+                tracer.end(span)
             # Inline execution accounts its exchange-cache hits live, so
             # there is no recorded trailer to fold (or to replay later).
-            week_entries[week] = (entries, (0, 0, 0))
+            week_entries[week] = (
+                entries,
+                (0, 0, 0),
+                encode_obs_blob(tracer.spans) if tracer is not None else b"",
+            )
         return week_entries
 
     # ------------------------------------------------------------------
@@ -922,6 +1044,7 @@ class ShmPoolScanEngine(ShardedScanEngine):
         self._pending.clear()
         self._collected.clear()
         self._collected_stats.clear()
+        self._collected_obs.clear()
         self._replayed.clear()
         try:
             super().close()
@@ -1017,15 +1140,28 @@ def _pool_run_ticket(payload) -> list:
             mine = [e for e in events if site_lo <= e.site_index < site_hi]
             cache = engine.exchange_cache
             base = cache.stats.snapshot() if cache is not None else (0, 0, 0)
+            # One worker span per fresh ticket-week, shipped in this
+            # week's buffer.  Memoized replays reuse the buffer as-is,
+            # so their blobs carry the *original* attempt's span —
+            # replayed accounting, same as the cache-stat trailers.
+            tracer = Tracer()
+            span = tracer.begin(
+                "ticket", "worker",
+                ticket=index, attempt=attempt, week=str(week),
+                site_lo=site_lo, site_hi=site_hi, events=len(mine),
+            )
             entries = _execute_entries(
                 engine, mine, week, vantage_id, ip_version, quic_config, tcp_config
             )
+            tracer.end(span)
             if cache is not None:
                 now = cache.stats.snapshot()
                 delta = (now[0] - base[0], now[1] - base[1], now[2] - base[2])
             else:
                 delta = (0, 0, 0)
-            buffer = encode_shard_results(entries, cache_stats=delta)
+            buffer = encode_shard_results(
+                entries, cache_stats=delta, obs=_worker_obs_blob(tracer, delta)
+            )
             built.append(buffer)
         if state.fault_plan is not None:
             buffer = state.fault_plan.mangle_shard_buffer(

@@ -33,6 +33,14 @@ buffer raises the typed :class:`CodecCorruption` before a single body
 byte is interpreted: corrupted bytes never decode to plausible-but-
 wrong results (crashed fork-pool workers and torn checkpoint files can
 produce exactly such buffers; docs/robustness.md).
+
+Version 4 adds a length-prefixed **observability blob** after the
+cache-stat varints: worker-side spans and metric deltas encoded by
+:mod:`repro.obs.spans`, riding inside the same CRC-checked frame so
+telemetry corruption is caught by the exact machinery that guards the
+results.  The blob is opaque to this module (empty when the run is
+uninstrumented); :func:`decode_shard_payload` keeps its two-tuple
+shape and :func:`decode_shard_payload_obs` exposes the blob.
 """
 
 from __future__ import annotations
@@ -59,6 +67,7 @@ __all__ = [
     "CodecCorruption",
     "CodecError",
     "decode_shard_payload",
+    "decode_shard_payload_obs",
     "decode_shard_results",
     "encode_shard_results",
     "frame_payload",
@@ -66,7 +75,7 @@ __all__ = [
 ]
 
 #: Buffer prefix: codec name + format version.
-MAGIC = b"ECNSTOR3"
+MAGIC = b"ECNSTOR4"
 
 
 _RESULT_NONE = 0
@@ -357,13 +366,14 @@ def encode_shard_results(
     entries: Sequence[tuple[int, int, object, float]],
     *,
     cache_stats: tuple[int, int, int] = (0, 0, 0),
+    obs: bytes = b"",
 ) -> bytes:
     """Marshal one shard's ``(site, kind, result, elapsed)`` entries.
 
     One checksummed frame per shard: header (including the shard's
-    exchange-cache ``(hits, misses, uncacheable)`` counters),
-    deduplicated string table, then the packed entries.  ``elapsed``
-    round-trips bit-exactly.
+    exchange-cache ``(hits, misses, uncacheable)`` counters and an
+    opaque length-prefixed ``obs`` telemetry blob), deduplicated string
+    table, then the packed entries.  ``elapsed`` round-trips bit-exactly.
     """
     table = StringTable()
     body = bytearray()
@@ -386,25 +396,32 @@ def encode_shard_results(
     out = bytearray()
     for counter in cache_stats:
         out += encode_varint(counter)
+    out += encode_varint(len(obs))
+    out += obs
     out += encode_string_table(table)
     out += encode_varint(len(entries))
     out += body
     return frame_payload(MAGIC, bytes(out))
 
 
-def decode_shard_payload(
+def decode_shard_payload_obs(
     buf: bytes,
-) -> tuple[list[tuple[int, int, object, float]], tuple[int, int, int]]:
-    """Inverse of :func:`encode_shard_results`: (entries, cache stats).
+) -> tuple[list[tuple[int, int, object, float]], tuple[int, int, int], bytes]:
+    """Inverse of :func:`encode_shard_results`: (entries, cache stats, obs).
 
     The frame is verified first; a truncated or bit-flipped buffer
-    raises :class:`CodecCorruption` without touching the body.
+    raises :class:`CodecCorruption` without touching the body.  ``obs``
+    is the opaque telemetry blob (``b""`` for uninstrumented shards) —
+    decode it with :func:`repro.obs.spans.decode_obs_blob`.
     """
     buf = unframe_payload(MAGIC, buf, what="shard result")
     offset = 0
     hits, offset = decode_varint(buf, offset)
     misses, offset = decode_varint(buf, offset)
     uncacheable, offset = decode_varint(buf, offset)
+    obs_len, offset = decode_varint(buf, offset)
+    obs = bytes(buf[offset : offset + obs_len])
+    offset += obs_len
     strings, offset = decode_string_table(buf, offset)
     entry_count, offset = decode_varint(buf, offset)
     entries: list[tuple[int, int, object, float]] = []
@@ -426,9 +443,17 @@ def decode_shard_payload(
         else:
             raise ValueError(f"unknown shard result tag {tag}")
         entries.append((site_index, kind, result, elapsed))
-    return entries, (hits, misses, uncacheable)
+    return entries, (hits, misses, uncacheable), obs
+
+
+def decode_shard_payload(
+    buf: bytes,
+) -> tuple[list[tuple[int, int, object, float]], tuple[int, int, int]]:
+    """(entries, cache stats) view of :func:`decode_shard_payload_obs`."""
+    entries, stats, _obs = decode_shard_payload_obs(buf)
+    return entries, stats
 
 
 def decode_shard_results(buf: bytes) -> list[tuple[int, int, object, float]]:
     """Entries-only view of :func:`decode_shard_payload`."""
-    return decode_shard_payload(buf)[0]
+    return decode_shard_payload_obs(buf)[0]

@@ -49,7 +49,9 @@ from array import array
 from ast import literal_eval
 from itertools import starmap
 from pathlib import Path
+from time import perf_counter
 
+from repro.obs.metrics import global_registry
 from repro.quic.varint import decode_varint, encode_varint
 from repro.util.atomic import atomic_write_bytes
 from repro.util.framing import CodecCorruption, frame_payload, unframe_payload
@@ -540,6 +542,11 @@ def acquire_world(
     overrides = overrides if overrides is not None else default_vantage_overrides()
     fingerprint = world_fingerprint(config, providers, vantages, overrides)
 
+    # PR 5 measured cache behaviour only inside the bench harness; the
+    # process-global registry makes it reportable from any run
+    # (--metrics-out merges these under world.* — docs/observability.md).
+    registry = global_registry()
+
     path = cache_path(cache_dir, fingerprint) if cache_dir is not None else None
     buf = _MEMORY_CACHE.get(fingerprint)
     if buf is not None:
@@ -547,13 +554,17 @@ def acquire_world(
             # The caller asked for a persistent layer and we already
             # hold the buffer — populate the disk cache for free.
             _persist(path, buf)
-        return (
-            decode_world(buf, providers=providers, vantages=vantages, overrides=overrides),
-            "memory",
+        started = perf_counter()
+        world = decode_world(
+            buf, providers=providers, vantages=vantages, overrides=overrides
         )
+        registry.observe("world.snapshot.decode_seconds", perf_counter() - started)
+        registry.add_counter("world.cache.memory_hits", 1)
+        return world, "memory"
 
     if path is not None and path.exists():
         try:
+            started = perf_counter()
             buf = path.read_bytes()
             world = decode_world(
                 buf, providers=providers, vantages=vantages, overrides=overrides
@@ -563,13 +574,21 @@ def acquire_world(
             # short columns surface as bare ValueError/IndexError.
             pass  # corrupt or stale: fall through and rebuild
         else:
+            registry.observe("world.snapshot.decode_seconds", perf_counter() - started)
+            registry.add_counter("world.cache.disk_hits", 1)
             _MEMORY_CACHE[fingerprint] = buf
             return world, "disk"
 
+    started = perf_counter()
     world = build_world(
         config, providers=providers, vantages=vantages, overrides=overrides
     )
+    registry.observe("world.snapshot.build_seconds", perf_counter() - started)
+    started = perf_counter()
     buf = encode_world(world)
+    registry.observe("world.snapshot.encode_seconds", perf_counter() - started)
+    registry.gauge("world.snapshot.bytes").set(len(buf))
+    registry.add_counter("world.cache.cold_builds", 1)
     _MEMORY_CACHE[fingerprint] = buf
     if path is not None:
         _persist(path, buf)

@@ -7,6 +7,8 @@ from repro.analysis.report import global_report, longitudinal_report, reference_
 from repro.cli import build_parser, main
 from repro.pipeline.vantage import run_distributed
 
+from tests.conftest import requires_fork
+
 
 # ----------------------------------------------------------------------
 # Report builders
@@ -174,6 +176,94 @@ def test_cli_scan_ipv6_leg_defaults_to_ipv6_week(monkeypatch, capsys):
         (config.reference_week, 4),
         (config.ipv6_week, 6),
     ]
+
+
+# ----------------------------------------------------------------------
+# Telemetry flags: --metrics-out / --trace-out / --progress / --quiet
+# ----------------------------------------------------------------------
+def test_cli_campaign_diagnostics_go_to_stderr(capsys):
+    assert main(["campaign", "--scale", "20000", "--cadence", "26"]) == 0
+    captured = capsys.readouterr()
+    assert "Figure 3" in captured.out  # the report stays on stdout
+    assert "exchange cache:" in captured.err
+    assert "exchange cache:" not in captured.out
+
+
+def test_cli_quiet_silences_diagnostics(capsys):
+    assert main(["campaign", "--scale", "20000", "--cadence", "26", "--quiet"]) == 0
+    captured = capsys.readouterr()
+    assert "Figure 3" in captured.out
+    assert captured.err == ""
+
+
+@requires_fork
+def test_cli_campaign_metrics_and_trace_out(tmp_path, capsys):
+    import json
+
+    from repro.obs import load_metrics
+
+    metrics_path = tmp_path / "metrics.json"
+    trace_path = tmp_path / "trace.json"
+    code = main(
+        [
+            "campaign",
+            "--scale", "20000",
+            "--cadence", "26",
+            "--workers", "2",
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert f"metrics: {metrics_path}" in captured.err
+    assert f"trace: {trace_path}" in captured.err
+
+    report = load_metrics(metrics_path)  # schema-checked load
+    metrics = report["metrics"]
+    # The report reproduces every counter the CLI prints as diagnostics.
+    for name in (
+        "campaign.weeks",
+        "campaign.domains",
+        "campaign.exchange_cache.hits",
+        "campaign.exchange_cache.misses",
+        "campaign.exchange_cache.hit_rate",
+        "campaign.supervision.retries",
+        "campaign.supervision.fallbacks",
+    ):
+        assert name in metrics, name
+    assert metrics["campaign.weeks"]["value"] > 0
+    assert report["spans"]["campaign.campaign"]["count"] == 1
+
+    document = json.loads(trace_path.read_text())
+    events = document["traceEvents"]
+    assert events and all(event["ph"] == "X" for event in events)
+    assert {"campaign", "week"} <= {event["name"] for event in events}
+
+
+def test_cli_scan_metrics_out(tmp_path, capsys):
+    from repro.obs import load_metrics
+
+    metrics_path = tmp_path / "metrics.json"
+    code = main(
+        ["scan", "--scale", "20000", "--no-tracebox",
+         "--metrics-out", str(metrics_path)]
+    )
+    assert code == 0
+    metrics = load_metrics(metrics_path)["metrics"]
+    assert "campaign.exchange_cache.hit_rate" in metrics
+    assert metrics["campaign.phase.site_seconds"]["value"] > 0
+
+
+def test_cli_progress_heartbeat(capsys):
+    assert main(
+        ["campaign", "--scale", "20000", "--cadence", "26", "--progress"]
+    ) == 0
+    captured = capsys.readouterr()
+    lines = [line for line in captured.err.splitlines() if line.startswith("[progress]")]
+    assert lines, "expected [progress] heartbeat lines on stderr"
+    assert "week" in lines[-1] and "dom/s" in lines[-1]
+    assert "[progress]" not in captured.out
 
 
 # ----------------------------------------------------------------------
