@@ -76,6 +76,14 @@ WORLD_CACHE_SPEEDUP_FLOOR = 5.0
 #: an interleaved best-of-N plain-vs-instrumented delta, clamped at
 #: zero (scheduler noise can make the instrumented leg win).
 OBS_OVERHEAD_MAX_PCT = 3.0
+#: CI gate: a campaign that selects the ``ecn`` plugin explicitly must
+#: cost at most this much extra shm-pool wall time over the default
+#: selection — the plugin framework's dispatch must be free when only
+#: the core scan is selected.  Measured exactly like the telemetry
+#: overhead below: interleaved default → ecn-plugin rounds through the
+#: same pool engine, best-of-N delta clamped at zero, minimum over
+#: repetitions (scheduler noise only ever inflates the clamped delta).
+PLUGIN_OVERHEAD_MAX_PCT = 5.0
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
 
 #: Throughput of the untouched seed (commit ff796bd), measured with this
@@ -577,6 +585,60 @@ def _smoke_measure(trace_out=None, metrics_out=None) -> dict:
         )
     shm_pool_obs = sum(len(r.observations) for r in shm_pool.runs)
     leaked_segments = len(shm.live_segments())
+    # Plugin-framework legs: the same shm-pool campaign through the
+    # explicit single-plugin selection (must cost ~nothing relative to
+    # the default selection — the framework's overhead gate, measured
+    # as an interleaved paired delta exactly like _obs_overhead because
+    # the two legs run identical work and any gap is dispatch cost or
+    # noise) and once with a second plugin (grease) whose variants
+    # double as an end-to-end row-through-codec exercise.
+    plugin_supervision = ScanPhaseStats()
+    plugin_overhead_pct = None
+    plugin_ecn, plugin_ecn_best = None, None
+    with ShmPoolScanEngine(world, workers=2) as plugin_engine:
+        for _ in range(6):
+            default_times, ecn_times = [], []
+            for _ in range(3):
+                _, elapsed = _timed(
+                    lambda: repro.run_campaign(
+                        world, engine=plugin_engine,
+                        phase_stats=plugin_supervision,
+                    )
+                )
+                default_times.append(elapsed)
+                plugin_ecn, elapsed = _timed(
+                    lambda: repro.run_campaign(
+                        world, engine=plugin_engine, plugins=("ecn",),
+                        phase_stats=plugin_supervision,
+                    )
+                )
+                ecn_times.append(elapsed)
+            measured = max(
+                0.0,
+                100.0 * (min(ecn_times) - min(default_times)) / min(default_times),
+            )
+            plugin_overhead_pct = (
+                measured
+                if plugin_overhead_pct is None
+                else min(plugin_overhead_pct, measured)
+            )
+            best = min(ecn_times)
+            plugin_ecn_best = best if plugin_ecn_best is None else min(
+                plugin_ecn_best, best
+            )
+            if plugin_overhead_pct <= PLUGIN_OVERHEAD_MAX_PCT:
+                break
+        plugin_multi, plugin_multi_best = _best_of(
+            lambda: repro.run_campaign(
+                world, engine=plugin_engine, plugins=("ecn", "grease"),
+                phase_stats=plugin_supervision,
+            )
+        )
+    plugin_ecn_obs = sum(len(r.observations) for r in plugin_ecn.runs)
+    plugin_multi_obs = sum(len(r.observations) for r in plugin_multi.runs)
+    plugin_grease_rows = sum(
+        len(r.plugin_rows.get("grease", {})) for r in plugin_multi.runs
+    )
     obs_metrics = _obs_overhead(world, trace_out=trace_out, metrics_out=metrics_out)
     print(f"smoke scan (scale {SMOKE_SCALE}): {scan_best:.4f}s "
           f"({len(run.observations)} domains)")
@@ -591,6 +653,10 @@ def _smoke_measure(trace_out=None, metrics_out=None) -> dict:
           f"({round(shm_pool_obs / shm_pool_best)} domains/s, "
           f"{pool_supervision.shard_retries} retries, "
           f"{leaked_segments} leaked segments)")
+    print(f"smoke plugin campaigns (scale {SMOKE_SCALE}, shm pool): ecn "
+          f"{plugin_ecn_best:.3f}s ({plugin_overhead_pct:.2f}% over default), "
+          f"ecn+grease {plugin_multi_best:.3f}s "
+          f"({plugin_grease_rows} grease rows)")
     print(f"smoke world cache (scale {SMOKE_SCALE}): cold "
           f"{world_split['cold']:.3f}s, warm {world_split['warm']:.3f}s "
           f"({world_split['bytes']} snapshot bytes)")
@@ -623,6 +689,17 @@ def _smoke_measure(trace_out=None, metrics_out=None) -> dict:
         "smoke_shm_pool_domains_per_second": round(shm_pool_obs / shm_pool_best),
         "smoke_shm_pool_retries": pool_supervision.shard_retries,
         "smoke_shm_pool_leaked_segments": leaked_segments,
+        "plugin_ecn_shm_pool_seconds": plugin_ecn_best,
+        "plugin_ecn_shm_pool_domains_per_second": round(
+            plugin_ecn_obs / plugin_ecn_best
+        ),
+        "plugin_overhead_pct": round(plugin_overhead_pct, 2),
+        "plugin_multi_shm_pool_seconds": plugin_multi_best,
+        "plugin_multi_shm_pool_domains_per_second": round(
+            plugin_multi_obs / plugin_multi_best
+        ),
+        "plugin_multi_grease_rows": plugin_grease_rows,
+        "plugin_shm_pool_retries": plugin_supervision.shard_retries,
     }
 
 
@@ -647,8 +724,13 @@ def run_smoke(check: bool, trace_out=None, metrics_out=None) -> int:
     that the committed full-bench shm-pool throughput is at least the
     committed inline campaign throughput (the whole point of the
     shared-memory pool: the fork path wins, it does not merely match).
-    Check runs are read-only — nothing on disk is rewritten, so
-    repeated local checks cannot ratchet the gate and no second,
+    The plugin legs require the explicit ``ecn``-plugin shm-pool
+    campaign to cost at most :data:`PLUGIN_OVERHEAD_MAX_PCT` extra
+    wall time over the default selection (interleaved paired delta,
+    same run), and the two-plugin (``ecn+grease``) campaign to produce
+    grease rows with zero retries.  Check runs are read-only —
+    nothing on disk is rewritten,
+    so repeated local checks cannot ratchet the gate and no second,
     drift-prone copy of the bench file exists.
     """
     metrics = _smoke_measure(trace_out=trace_out, metrics_out=metrics_out)
@@ -721,6 +803,29 @@ def run_smoke(check: bool, trace_out=None, metrics_out=None) -> int:
         print(f"FAIL: committed shm-pool campaign throughput ({pool_rate} "
               f"domains/s) below the inline campaign ({inline_rate} "
               "domains/s) — the fork-pool win regressed", file=sys.stderr)
+        status = 1
+    plugin_overhead = metrics["plugin_overhead_pct"]
+    print(f"plugin-framework overhead: max {PLUGIN_OVERHEAD_MAX_PCT:.1f}%, "
+          f"measured {plugin_overhead:.2f}% (ecn plugin vs default "
+          f"selection, shm pool)")
+    if plugin_overhead > PLUGIN_OVERHEAD_MAX_PCT:
+        print(f"FAIL: selecting the ecn plugin explicitly costs "
+              f"{plugin_overhead:.2f}% extra shm-pool campaign wall time "
+              f"(budget {PLUGIN_OVERHEAD_MAX_PCT:.1f}%) — plugin dispatch "
+              "is no longer free for the core scan", file=sys.stderr)
+        status = 1
+    grease_rows = metrics["plugin_multi_grease_rows"]
+    plugin_retries = metrics["plugin_shm_pool_retries"]
+    print(f"plugin two-plugin campaign: {grease_rows} grease rows "
+          f"(required > 0), {plugin_retries} retries (required 0)")
+    if grease_rows <= 0:
+        print("FAIL: the ecn+grease shm-pool campaign produced no grease "
+              "rows — plugin variants are not flowing through the pool",
+              file=sys.stderr)
+        status = 1
+    if plugin_retries != 0:
+        print(f"FAIL: plugin shm-pool campaigns needed {plugin_retries} "
+              "ticket retries on healthy input", file=sys.stderr)
         status = 1
     overhead = metrics["campaign_obs_overhead_pct"]
     print(f"obs instrumentation overhead: max {OBS_OVERHEAD_MAX_PCT:.1f}%, "

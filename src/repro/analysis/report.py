@@ -92,7 +92,40 @@ def reference_report(run: WeeklyRun, ipv6_run: WeeklyRun | None = None) -> str:
             f"({100 * parking.parked_share:.1f} %)",
         )
     )
+    plugin_section = plugin_summary(run)
+    if plugin_section:
+        parts.append(_section("Plugin measurements", plugin_section))
     return "\n".join(parts)
+
+
+def plugin_summary(run: WeeklyRun) -> str:
+    """Deterministic per-plugin field summary (empty without plugin rows).
+
+    One line per plugin/field pair: booleans as "true on N/M sites",
+    numerics as a total, strings as a distinct-value count — enough to
+    eyeball a plugin's coverage without dumping per-site rows.
+    """
+    from repro.plugins.registry import get_plugin
+
+    lines: list[str] = []
+    for name in sorted(getattr(run, "plugin_rows", {}) or ()):
+        rows = run.plugin_rows[name]
+        lines.append(f"{name}: {format_count(len(rows))} sites")
+        try:
+            fields = get_plugin(name).fields
+        except ValueError:  # pragma: no cover - unregistered leftovers
+            continue
+        for index, spec in enumerate(fields):
+            values = [row[index] for row in rows.values() if row[index] is not None]
+            if spec.kind == "bool":
+                true_count = sum(1 for v in values if v)
+                detail = f"true on {format_count(true_count)}/{format_count(len(rows))} sites"
+            elif spec.kind in ("int", "float"):
+                detail = f"total {format_count(sum(values)) if values else 0}"
+            else:
+                detail = f"{format_count(len(set(values)))} distinct values"
+            lines.append(f"  {spec.name}: {detail}")
+    return "\n".join(lines)
 
 
 def longitudinal_report(campaign: Campaign) -> str:

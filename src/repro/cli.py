@@ -6,14 +6,23 @@ Commands mirror the measurement phases of the paper:
                      prints Tables 1-7.
 * ``campaign``     — longitudinal snapshots; prints Figures 3/4/8.
 * ``distributed``  — 17-vantage distributed run; prints Figure 7.
-* ``trace``        — tracebox one provider/group's path.
+* ``trace``        — tracebox one provider/group's path (deprecated
+                     alias; tracebox sampling is the ``trace`` plugin).
 * ``l4s``          — the §9.3 L4S re-marking experiment.
-* ``grease``       — the §9.3 ECN greasing study.
+* ``grease``       — the §9.3 ECN greasing study (deprecated alias;
+                     greasing is the ``grease`` plugin).
+
+``scan`` and ``campaign`` select measurement plugins with ``--plugins``
+(comma-separated; ``--no-plugins`` keeps just the core ``ecn`` scan) —
+see docs/plugins.md.  World options (``--scale``/``--seed``/
+``--world-cache``) are shared by every world-building subcommand via
+one parent parser.
 
 Reports print to stdout; diagnostics (cache/supervision stats, the
-``--progress`` heartbeat, obs-output notes) go to stderr, silenced by
-``--quiet``.  ``scan`` and ``campaign`` take ``--metrics-out`` /
-``--trace-out`` for the telemetry layer (docs/observability.md).
+``--progress`` heartbeat, obs-output notes, deprecation pointers) go to
+stderr, silenced by ``--quiet``.  ``scan`` and ``campaign`` take
+``--metrics-out`` / ``--trace-out`` for the telemetry layer
+(docs/observability.md).
 """
 
 from __future__ import annotations
@@ -33,15 +42,22 @@ from repro.util.weeks import Week
 from repro.web.spec import WorldConfig
 
 
-def _add_world_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+def _world_parent() -> argparse.ArgumentParser:
+    """The shared world options, hoisted into one parent parser.
+
+    Every subcommand that builds a world inherits these via
+    ``parents=[...]`` instead of redeclaring them, so help text,
+    defaults and future world options stay in one place.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--scale",
         type=float,
         default=4_000,
         help="world scale: 1 simulated domain = SCALE real domains",
     )
-    parser.add_argument("--seed", type=int, default=20230415)
-    parser.add_argument(
+    parent.add_argument("--seed", type=int, default=20230415)
+    parent.add_argument(
         "--world-cache",
         metavar="DIR",
         default=None,
@@ -50,6 +66,57 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
              "rehydrated on later runs instead of being rebuilt "
              "(docs/architecture.md#world-lifecycle)",
     )
+    return parent
+
+
+def _add_plugin_args(
+    parser: argparse.ArgumentParser, *, default: tuple[str, ...]
+) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--plugins",
+        metavar="LIST",
+        default=None,
+        help="comma-separated measurement plugins to run (default: "
+             f"{','.join(default)}; the core 'ecn' plugin is always "
+             "included; see docs/plugins.md)",
+    )
+    group.add_argument(
+        "--no-plugins",
+        action="store_true",
+        help="run only the core ecn scan (equivalent to --plugins ecn)",
+    )
+    parser.set_defaults(default_plugins=default)
+
+
+def _resolve_plugin_args(args) -> "tuple[str, ...] | None":
+    """The subcommand's plugin selection; ``None`` after an exit-2 error.
+
+    ``--no-tracebox`` survives as a deprecated alias for dropping the
+    ``trace`` plugin from the default selection.
+    """
+    from repro.plugins.registry import resolve_plugins
+
+    if args.no_plugins:
+        names: tuple[str, ...] = ("ecn",)
+    elif args.plugins is not None:
+        names = tuple(p.strip() for p in args.plugins.split(",") if p.strip())
+        if "ecn" not in names:
+            names = ("ecn",) + names
+    else:
+        names = args.default_plugins
+    if getattr(args, "no_tracebox", False):
+        _note(
+            args,
+            "note: --no-tracebox is deprecated; use --no-plugins or a "
+            "--plugins list without 'trace'",
+        )
+        names = tuple(n for n in names if n != "trace")
+    try:
+        return resolve_plugins(names).names
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return None
 
 
 def _add_obs_args(parser: argparse.ArgumentParser, *, progress: bool = True) -> None:
@@ -154,6 +221,9 @@ def _parse_week(text: str) -> Week:
 
 
 def _cmd_scan(args) -> int:
+    plugins = _resolve_plugin_args(args)
+    if plugins is None:
+        return 2
     world = _build_world(args)
     week = args.week if args.week else world.config.reference_week
     telemetry = _obs_setup(args)
@@ -161,7 +231,7 @@ def _cmd_scan(args) -> int:
     run = repro.run_weekly_scan(
         world,
         week,
-        run_tracebox=not args.no_tracebox,
+        plugins=plugins,
         backend=args.backend,
         telemetry=telemetry,
         phase_stats=stats,
@@ -177,6 +247,7 @@ def _cmd_scan(args) -> int:
             ipv6_week,
             ip_version=6,
             populations=("cno",),
+            plugins=tuple(n for n in plugins if n != "trace"),
             backend=args.backend,
             telemetry=telemetry,
             phase_stats=stats,
@@ -214,6 +285,9 @@ def _cmd_campaign(args) -> int:
     if args.resume and args.checkpoint_dir is None:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    plugins = _resolve_plugin_args(args)
+    if plugins is None:
+        return 2
     world = _build_world(args)
     stats = ScanPhaseStats()
     telemetry = _obs_setup(args)
@@ -226,6 +300,7 @@ def _cmd_campaign(args) -> int:
     campaign = repro.run_campaign(
         world,
         cadence_weeks=args.cadence,
+        plugins=plugins,
         shards=args.shards,
         shard_executor=args.shard_executor,
         workers=args.workers,
@@ -271,6 +346,11 @@ def _cmd_distributed(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    _note(
+        args,
+        "note: 'trace' is a deprecated alias; tracebox sampling now runs "
+        "as a plugin — try: repro scan --plugins ecn,trace",
+    )
     world = _build_world(args)
     week = args.week if args.week else world.config.reference_week
     sites = [
@@ -318,6 +398,11 @@ def _cmd_l4s(args) -> int:
 
 
 def _cmd_grease(args) -> int:
+    _note(
+        args,
+        "note: 'grease' is a deprecated alias; greasing now runs as a "
+        "plugin — try: repro scan --plugins ecn,grease",
+    )
     world = _build_world(args)
     report = run_greasing_study(world, max_sites=args.max_sites)
     print(f"hosts scanned:            {report.hosts_scanned}")
@@ -333,9 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'ECN with QUIC: Challenges in the Wild' (IMC '23)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    world_parent = _world_parent()
 
-    scan = sub.add_parser("scan", help="weekly scan; prints Tables 1-7")
-    _add_world_args(scan)
+    scan = sub.add_parser(
+        "scan", help="weekly scan; prints Tables 1-7", parents=[world_parent]
+    )
     scan.add_argument(
         "--week",
         type=_parse_week,
@@ -344,7 +431,13 @@ def build_parser() -> argparse.ArgumentParser:
              "and the IPv6 measurement week respectively)",
     )
     scan.add_argument("--ipv6", action="store_true", help="add the IPv6 run")
-    scan.add_argument("--no-tracebox", action="store_true")
+    _add_plugin_args(scan, default=("ecn", "trace"))
+    scan.add_argument(
+        "--no-tracebox",
+        action="store_true",
+        help="deprecated: drop the 'trace' plugin (use --no-plugins or a "
+             "--plugins list without 'trace')",
+    )
     scan.add_argument(
         "--backend",
         choices=("objects", "store"),
@@ -355,9 +448,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(scan, progress=False)
     scan.set_defaults(func=_cmd_scan)
 
-    campaign = sub.add_parser("campaign", help="longitudinal Figures 3/4/8")
-    _add_world_args(campaign)
+    campaign = sub.add_parser(
+        "campaign", help="longitudinal Figures 3/4/8", parents=[world_parent]
+    )
     campaign.add_argument("--cadence", type=int, default=12, help="weeks between scans")
+    _add_plugin_args(campaign, default=("ecn",))
     campaign.add_argument(
         "--shards",
         type=int,
@@ -444,25 +539,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
-    distributed = sub.add_parser("distributed", help="global Figure 7")
-    _add_world_args(distributed)
+    distributed = sub.add_parser(
+        "distributed", help="global Figure 7", parents=[world_parent]
+    )
     distributed.add_argument("--ipv6", action="store_true")
     distributed.set_defaults(func=_cmd_distributed)
 
-    trace = sub.add_parser("trace", help="tracebox one provider's path")
-    _add_world_args(trace)
+    trace = sub.add_parser(
+        "trace",
+        help="tracebox one provider's path (deprecated; see the trace plugin)",
+        parents=[world_parent],
+    )
     trace.add_argument("--provider", required=True)
     trace.add_argument("--group")
     trace.add_argument("--week", type=_parse_week, help="ISO week like 2023-W15")
+    trace.add_argument("--quiet", action="store_true", help="suppress stderr notes")
     trace.set_defaults(func=_cmd_trace)
 
     l4s = sub.add_parser("l4s", help="§9.3 L4S re-marking experiment")
     l4s.add_argument("--rounds", type=int, default=200)
     l4s.set_defaults(func=_cmd_l4s)
 
-    grease = sub.add_parser("grease", help="§9.3 ECN greasing study")
-    _add_world_args(grease)
+    grease = sub.add_parser(
+        "grease",
+        help="§9.3 ECN greasing study (deprecated; see the grease plugin)",
+        parents=[world_parent],
+    )
     grease.add_argument("--max-sites", type=int, default=120)
+    grease.add_argument("--quiet", action="store_true", help="suppress stderr notes")
     grease.set_defaults(func=_cmd_grease)
 
     return parser

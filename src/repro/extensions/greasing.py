@@ -11,6 +11,12 @@ that keeps middleboxes from ossifying on all-zero ECN fields.
 Because we own both endpoints of the simulation, the study reads the
 server-side arrival counters directly; a real deployment would have to
 infer this from mirroring or in-network telemetry.
+
+The client configuration lives in :mod:`repro.plugins.grease` (shared
+with the ``grease`` measurement plugin, which runs the same greased
+stack per (site, week) inside weekly scans and campaigns); this module
+keeps the bespoke off/on visibility comparison the CLI's deprecated
+``grease`` subcommand reports.
 """
 
 from __future__ import annotations
@@ -18,7 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.http.messages import HttpRequest
-from repro.quic.connection import QuicClient, QuicClientConfig
+from repro.plugins.grease import grease_client_config
+from repro.quic.connection import QuicClient
 from repro.scanner.wire import ScanWire
 from repro.util.rng import RngStream
 from repro.util.weeks import Week
@@ -61,12 +68,9 @@ def _scan_visibility(
     wire = ScanWire(world, vantage_id, site.route_key, server.handle_datagram, week)
     client = QuicClient(
         wire,
-        QuicClientConfig(
-            # The baseline is an ECN-disabled stack (the common case in
-            # the QUIC interop matrix); greasing rides on top of it.
-            enable_ecn=False,
-            grease_ecn=grease,
-            grease_probability=grease_probability,
+        grease_client_config(
+            grease=grease,
+            probability=grease_probability,
             trailing_pings=trailing_pings,
         ),
         rng=RngStream(seed, f"grease/{site.ip}"),

@@ -93,6 +93,7 @@ def run_campaign(
     vantage_id: str = "main-aachen",
     populations: tuple[str, ...] = ("cno",),
     run_tracebox: bool = False,
+    plugins: tuple[str, ...] | None = None,
     reuse_site_results: bool = False,
     shards: int | None = None,
     shard_executor: str = "inline",
@@ -135,6 +136,15 @@ def run_campaign(
     :class:`~repro.pipeline.engine.ScanPhaseStats`) accumulates the
     site-phase / attribution wall-time split across the series, plus
     the exchange replay-cache hit/miss counters.
+
+    ``plugins`` selects the measurement plugins every week runs
+    (default: just the core ``ecn`` scan; see :mod:`repro.plugins`).
+    Plugin variants ride the same executor, exchange cache, checkpoint
+    and supervision machinery as the core scan; their merged rows land
+    on each run's ``plugin_rows`` (and as per-plugin store columns
+    under the store backend).  The ``trace`` plugin — like
+    ``run_tracebox``, which it subsumes — is incompatible with
+    checkpointing.
 
     ``exchange_cache`` (default on) is what makes re-measuring stable
     site-weeks cheap: exchanges whose inputs repeat across the series
@@ -190,7 +200,13 @@ def run_campaign(
     leaks instrumentation into later runs.
     """
     from repro.pipeline.sharding import ShardedScanEngine, ShmPoolScanEngine
+    from repro.plugins.registry import resolve_plugins
 
+    plugin_names = resolve_plugins(
+        tuple(plugins) if plugins is not None else None
+    ).names
+    if run_tracebox and "trace" not in plugin_names:
+        plugin_names = plugin_names + ("trace",)
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
     if shards is not None and workers is not None:
@@ -233,6 +249,11 @@ def run_campaign(
         if run_tracebox:
             raise ValueError(
                 "checkpointing is incompatible with run_tracebox: trace "
+                "results are not part of the checkpointed site phase"
+            )
+        if "trace" in plugin_names:
+            raise ValueError(
+                "checkpointing is incompatible with the trace plugin: trace "
                 "results are not part of the checkpointed site phase"
             )
     if (
@@ -298,7 +319,8 @@ def run_campaign(
         )
 
         key = campaign_checkpoint_key(
-            world, vantage_id=vantage_id, populations=populations
+            world, vantage_id=vantage_id, populations=populations,
+            plugins=plugin_names,
         )
         checkpointer = CampaignCheckpointer(
             checkpoint_dir,
@@ -324,7 +346,10 @@ def run_campaign(
     if isinstance(engine, ShmPoolScanEngine):
         compute_weeks = [week for week in weeks if preloaded.get(week) is None]
         if compute_weeks:
-            engine.prefetch_weeks(compute_weeks, vantage_id, populations=populations)
+            engine.prefetch_weeks(
+                compute_weeks, vantage_id, populations=populations,
+                plugins=plugin_names,
+            )
     reuse = SiteResultCache() if reuse_site_results else None
     campaign = Campaign()
     # Instrumentation setup.  phase_stats doubles as the registry
@@ -365,7 +390,7 @@ def run_campaign(
             )
             week_kwargs = dict(
                 populations=populations,
-                run_tracebox=run_tracebox,
+                plugins=plugin_names,
                 reuse=reuse,
                 backend=backend,
                 phase_stats=stats,

@@ -54,27 +54,31 @@ def campaign_checkpoint_key(
     populations: Sequence[str],
     ip_version: int = 4,
     include_tcp: bool = False,
+    plugins: Sequence[str] = ("ecn",),
 ) -> str:
     """Digest of everything a checkpointed week's entries depend on.
 
     Salted with the checkpoint and shard-codec format versions, so a
     format bump invalidates stale files automatically (the same trick
-    the world snapshot cache uses).
+    the world snapshot cache uses).  The plugin selection joins the
+    canon only when it differs from the default core scan, so keys
+    minted before the plugin framework stay valid.
     """
     fingerprint = world_fingerprint(
         world.config, world.provider_list, world.vantage_list, world.override_list
     )
-    canon = repr(
-        (
-            CHECKPOINT_MAGIC,
-            codec.MAGIC,
-            fingerprint,
-            vantage_id,
-            tuple(populations),
-            ip_version,
-            bool(include_tcp),
-        )
+    parts = (
+        CHECKPOINT_MAGIC,
+        codec.MAGIC,
+        fingerprint,
+        vantage_id,
+        tuple(populations),
+        ip_version,
+        bool(include_tcp),
     )
+    if tuple(plugins) != ("ecn",):
+        parts = parts + (tuple(plugins),)
+    canon = repr(parts)
     return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:32]
 
 

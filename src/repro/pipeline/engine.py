@@ -60,10 +60,23 @@ from repro.exchange import (
     RecordingClock,
     replay_outcome,
 )
-from repro.exchange.core import quic_exchange_inputs, tcp_exchange_inputs
+from repro.exchange.core import (
+    quic_exchange_inputs,
+    run_quic_exchange,
+    run_tcp_exchange,
+    tcp_exchange_inputs,
+)
 from repro.netsim.clock import Clock
 from repro.obs.metrics import safe_ratio
-from repro.pipeline.runs import WeeklyRun, _run_traces, ensure_site_record
+from repro.pipeline.runs import WeeklyRun, ensure_site_record
+from repro.plugins.base import PLUGIN_KIND_BASE, VariantBinding
+from repro.plugins.registry import (
+    DEFAULT_PLUGINS,
+    PluginSelection,
+    binding_for_kind,
+    resolve_plugins,
+    stream_tag,
+)
 from repro.quic.connection import QuicConnectionResult
 from repro.scanner.quic_scan import QuicScanConfig, quic_client_config, scan_site_quic
 from repro.scanner.results import DomainObservation
@@ -81,6 +94,17 @@ QUIC_EVENT = 0
 TCP_EVENT = 1
 
 _KIND_NAMES = {QUIC_EVENT: "quic", TCP_EVENT: "tcp"}
+
+
+def _kind_label(kind: int) -> str:
+    """Diagnostic label of an event kind (core name or plugin tag)."""
+    name = _KIND_NAMES.get(kind)
+    if name is not None:
+        return name
+    try:
+        return stream_tag(kind)
+    except ValueError:
+        return str(kind)
 
 
 class ShardResultMissing(RuntimeError):
@@ -102,7 +126,7 @@ class ShardResultMissing(RuntimeError):
     ):
         self.missing = tuple(missing)
         shown = ", ".join(
-            f"(site {site_index}, {_KIND_NAMES.get(kind, kind)}"
+            f"(site {site_index}, {_kind_label(kind)}"
             + (f", shard {shard_of(site_index)}" if shard_of is not None else "")
             + ")"
             for site_index, kind in self.missing[:8]
@@ -136,7 +160,7 @@ class SiteEvent:
     """One scheduled per-site exchange of the site phase."""
 
     position: int  # observation position of the triggering domain
-    kind: int  # QUIC_EVENT | TCP_EVENT
+    kind: int  # QUIC_EVENT | TCP_EVENT | a registered plugin-variant kind
     site_index: int
     address: str  # family address the triggering domain resolved to
     authority_domain: str
@@ -298,6 +322,11 @@ class ScanEngine:
     ``tests/test_exchange_golden.py``).  Pass ``exchange_cache=False``
     to force every exchange to run fresh.
     """
+
+    #: The ``site_rng`` mode :meth:`run_week` resolves ``None`` to.
+    #: Sharded engines override this with ``"per-site"`` — shared-stream
+    #: semantics cannot be partitioned.
+    default_site_rng = "shared"
 
     def __init__(self, world: "World", *, exchange_cache: bool = True):
         self.world = world
@@ -486,6 +515,7 @@ class ScanEngine:
         week: Week,
         vantage_id: str,
         include_tcp: bool,
+        selection: PluginSelection | None = None,
     ) -> tuple[list[SiteEvent], dict[int, bool]]:
         """The site phase as ordered events + per-site QUIC capability.
 
@@ -497,6 +527,14 @@ class ScanEngine:
         position-sorted streams — the week-invariant QUIC trigger index
         and the sites' first attributed positions — so scheduling a
         week is a single linear pass with no sort.
+
+        ``selection`` appends one event per (plugin variant, fired QUIC
+        event) after the core stream, grouped by variant in selection
+        order: variants run against exactly the sites the core scan
+        reached this week, reusing the triggering domain as authority.
+        The default ``ecn``-only selection appends nothing, so the
+        stream — and everything downstream of it — is byte-identical
+        to the pre-plugin engine.
         """
         world = self.world
         sites = world.sites
@@ -531,6 +569,20 @@ class ScanEngine:
         while cursor < trigger_count:
             _emit_quic_trigger(triggers[cursor], share, quic_capable, append)
             cursor += 1
+        if selection is not None and selection.bindings:
+            fired = [event for event in events if event.kind == QUIC_EVENT]
+            for binding in selection.bindings:
+                kind = binding.kind
+                for event in fired:
+                    append(
+                        SiteEvent(
+                            event.position,
+                            kind,
+                            event.site_index,
+                            event.address,
+                            event.authority_domain,
+                        )
+                    )
         return events, quic_capable
 
     def site_events(
@@ -541,10 +593,13 @@ class ScanEngine:
         ip_version: int = 4,
         populations: Sequence[str] = ("cno", "toplist"),
         include_tcp: bool = False,
+        plugins: Sequence[str] | None = None,
     ) -> list[SiteEvent]:
         """Public view of the site phase (the week-sharding hook)."""
         plan = self.plan_for(ip_version, populations)
-        events, _ = self._schedule(plan, week, vantage_id, include_tcp)
+        events, _ = self._schedule(
+            plan, week, vantage_id, include_tcp, resolve_plugins(plugins)
+        )
         return events
 
     # ------------------------------------------------------------------
@@ -658,6 +713,56 @@ class ScanEngine:
         cache.store(key, ExchangeOutcome(result, tuple(recorder.advances)))
         return result
 
+    def _plugin_exchange(
+        self,
+        binding: VariantBinding,
+        site: "Site",
+        week: Week,
+        vantage_id: str,
+        ip_version: int,
+        authority_domain: str,
+        rng: RngStream | None,
+        clock: Clock | None,
+    ):
+        """One plugin-variant exchange through the replay cache.
+
+        Mirrors :meth:`_exchange` with the plugin's client config in
+        place of the scan config: the variant's ``ExchangeInputs`` are
+        derived from the same site/week/route state, its distinct
+        client config hashes to distinct cache keys, and hit / miss /
+        uncacheable behave exactly as for the core scan — which is how
+        variants inherit caching, sharding, checkpointing and the
+        shm pool without any executor knowing plugins exist.
+        """
+        world = self.world
+        authority = f"www.{authority_domain}"
+        client_config = binding.client_config(
+            world.vantages[vantage_id].source_ip, ip_version
+        )
+        if binding.variant.transport == "quic":
+            prepare, run = quic_exchange_inputs, run_quic_exchange
+        else:
+            prepare, run = tcp_exchange_inputs, run_tcp_exchange
+        cache = self.exchange_cache
+        if cache is None:
+            inputs = prepare(world, site, week, vantage_id, client_config)
+            return run(world, inputs, week, vantage_id, authority, rng=rng, clock=clock)
+        inputs = prepare(
+            world, site, week, vantage_id, client_config, path_memo=cache.path_memo
+        )
+        key = cache.key_for(inputs)
+        if key is None:
+            cache.stats.uncacheable += 1
+            return run(world, inputs, week, vantage_id, authority, rng=rng, clock=clock)
+        outcome = cache.fetch(key)
+        target_clock = clock if clock is not None else world.clock
+        if outcome is not None:
+            return replay_outcome(outcome, target_clock)
+        recorder = RecordingClock(target_clock)
+        result = run(world, inputs, week, vantage_id, authority, rng=rng, clock=recorder)
+        cache.store(key, ExchangeOutcome(result, tuple(recorder.advances)))
+        return result
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -669,8 +774,16 @@ class ScanEngine:
         Seeded from everything that identifies the exchange — the shard
         layout, executor, and worker order never enter the seed, which is
         why any partition of the site phase reproduces the same draws.
+        Plugin-variant events use their registry tag
+        (``plugin/variant``), so a variant's draws are independent of
+        the core scan's and of every other variant's.
         """
-        kind = "quic" if event.kind == QUIC_EVENT else "tcp"
+        if event.kind == QUIC_EVENT:
+            kind = "quic"
+        elif event.kind == TCP_EVENT:
+            kind = "tcp"
+        else:
+            kind = stream_tag(event.kind)
         name = (
             f"site-scan/{week}/{vantage_id}/v{ip_version}/"
             f"{event.site_index}/{kind}"
@@ -688,10 +801,35 @@ class ScanEngine:
         reuse: SiteResultCache | None,
         rng: RngStream | None = None,
         clock: Clock | None = None,
+        plugin_rows: dict | None = None,
     ) -> None:
-        """Execute one site event into ``records``."""
-        record = ensure_site_record(records, event.site_index, event.address)
+        """Execute one site event into ``records`` (or ``plugin_rows``).
+
+        Core events land on the site record; plugin-variant events run
+        the variant exchange and store the plugin's typed row under
+        ``(site_index, kind)`` — rows, not raw results, are what
+        variants contribute downstream (store columns, shard frames,
+        checkpoints).
+        """
         site = self.world.sites[event.site_index]
+        if event.kind >= PLUGIN_KIND_BASE:
+            binding = binding_for_kind(event.kind)
+            result = self._plugin_exchange(
+                binding,
+                site,
+                week,
+                vantage_id,
+                quic_config.ip_version,
+                event.authority_domain,
+                rng,
+                clock,
+            )
+            if plugin_rows is not None:
+                plugin_rows[(event.site_index, event.kind)] = binding.plugin.row(
+                    binding.variant, result
+                )
+            return
+        record = ensure_site_record(records, event.site_index, event.address)
         if event.kind == QUIC_EVENT:
             record.quic = self._site_quic(
                 site,
@@ -730,20 +868,25 @@ class ScanEngine:
         replay: dict[tuple[int, int], tuple[object, float]] | None = None,
         populations: Sequence[str] | None = None,
         include_tcp: bool = False,
+        plugins: tuple[str, ...] | None = None,
+        plugin_rows: dict | None = None,
     ) -> None:
         """Run all site events (serially; overridden by the sharded engine).
 
         ``entry_sink``, when given, collects ``(site_index, kind,
         result, elapsed)`` entries in event order — the unit campaign
-        checkpoints persist.  ``replay`` short-circuits execution with
-        previously produced entries (a rehydrated checkpoint); both
-        require ``site_rng="per-site"`` because shared-stream draws
-        depend on the events actually executing.
+        checkpoints persist.  Plugin-variant entries carry the
+        plugin's typed row as their result.  ``replay`` short-circuits
+        execution with previously produced entries (a rehydrated
+        checkpoint); both require ``site_rng="per-site"`` because
+        shared-stream draws depend on the events actually executing.
 
-        ``populations``/``include_tcp`` restate the schedule parameters
-        that produced ``events``: this serial engine derives nothing
-        from them, but the shm-pool engine needs them to describe the
-        week to workers that rebuild the event list themselves.
+        ``populations``/``include_tcp``/``plugins`` restate the
+        schedule parameters that produced ``events``: this serial
+        engine derives nothing from them, but the shm-pool engine
+        needs them to describe the week to workers that rebuild the
+        event list themselves.  ``plugin_rows`` collects variant rows
+        keyed ``(site_index, kind)``.
         """
         if site_rng == "shared":
             if entry_sink is not None or replay is not None:
@@ -753,28 +896,38 @@ class ScanEngine:
                 )
             for event in events:
                 self._run_event(
-                    event, week, vantage_id, quic_config, tcp_config, records, reuse
+                    event, week, vantage_id, quic_config, tcp_config, records,
+                    reuse, plugin_rows=plugin_rows,
                 )
             return
         if site_rng != "per-site":
             raise ValueError(f"unknown site_rng mode: {site_rng!r}")
         if replay is not None:
-            self._apply_replay(events, replay, records, entry_sink=entry_sink)
+            self._apply_replay(
+                events, replay, records, entry_sink=entry_sink,
+                plugin_rows=plugin_rows,
+            )
             return
         # Independent substream + private clock per event; the shared
         # clock advances by the summed elapsed time, in event order, so
         # any executor that merges in event order lands on the same
         # (bit-identical) float.
+        if plugin_rows is None:
+            plugin_rows = {}
         elapsed_total = 0.0
         for event in events:
             elapsed = self._run_event_per_site(
                 event, week, vantage_id, ip_version, quic_config, tcp_config,
-                records, reuse,
+                records, reuse, plugin_rows=plugin_rows,
             )
             elapsed_total += elapsed
             if entry_sink is not None:
-                record = records[event.site_index]
-                result = record.quic if event.kind == QUIC_EVENT else record.tcp
+                if event.kind == QUIC_EVENT:
+                    result = records[event.site_index].quic
+                elif event.kind == TCP_EVENT:
+                    result = records[event.site_index].tcp
+                else:
+                    result = plugin_rows[(event.site_index, event.kind)]
                 entry_sink.append((event.site_index, event.kind, result, elapsed))
         self.world.clock.advance(elapsed_total)
 
@@ -787,6 +940,7 @@ class ScanEngine:
         entry_sink: list | None = None,
         source: str = "site-phase replay",
         shard_of=None,
+        plugin_rows: dict | None = None,
     ) -> None:
         """Fill ``records`` from previously produced per-event results.
 
@@ -799,6 +953,10 @@ class ScanEngine:
         then apply in serial event order: records fill in the same
         sequence and the clock sums the same floats in the same order
         as the serial per-site engine (bit-identical trajectory).
+
+        Plugin-variant entries (kind >= :data:`PLUGIN_KIND_BASE`) carry
+        row tuples, not exchange results; they land in ``plugin_rows``
+        and never create or touch a site record.
         """
         missing = [
             (event.site_index, event.kind)
@@ -810,11 +968,15 @@ class ScanEngine:
         elapsed_total = 0.0
         for event in events:
             result, elapsed = replay[(event.site_index, event.kind)]
-            record = ensure_site_record(records, event.site_index, event.address)
-            if event.kind == QUIC_EVENT:
-                record.quic = result
+            if event.kind >= PLUGIN_KIND_BASE:
+                if plugin_rows is not None:
+                    plugin_rows[(event.site_index, event.kind)] = result
             else:
-                record.tcp = result
+                record = ensure_site_record(records, event.site_index, event.address)
+                if event.kind == QUIC_EVENT:
+                    record.quic = result
+                else:
+                    record.tcp = result
             elapsed_total += elapsed
             if entry_sink is not None:
                 entry_sink.append((event.site_index, event.kind, result, elapsed))
@@ -830,6 +992,7 @@ class ScanEngine:
         tcp_config: TcpScanConfig,
         records: dict,
         reuse: SiteResultCache | None = None,
+        plugin_rows: dict | None = None,
     ) -> float:
         """One event on its own substream + clock; returns elapsed time.
 
@@ -848,6 +1011,7 @@ class ScanEngine:
             reuse,
             rng=self.event_stream(event, week, vantage_id, ip_version),
             clock=clock,
+            plugin_rows=plugin_rows,
         )
         return clock.now
 
@@ -862,8 +1026,9 @@ class ScanEngine:
         quic_config: QuicScanConfig | None = None,
         tcp_config: TcpScanConfig | None = None,
         run_tracebox: bool = False,
+        plugins: Sequence[str] | None = None,
         reuse: SiteResultCache | None = None,
-        site_rng: str = "shared",
+        site_rng: str | None = None,
         backend: str = "objects",
         phase_stats: ScanPhaseStats | None = None,
         entry_sink: list | None = None,
@@ -871,9 +1036,18 @@ class ScanEngine:
     ) -> WeeklyRun:
         """One weekly run, equal field-for-field to the reference loop.
 
+        ``plugins`` selects the measurement plugins for the week
+        (default: just the core ``ecn`` scan — byte-identical to the
+        pre-plugin engine).  Plugin connection variants are scheduled
+        after the core stream and their merged rows land on
+        ``run.plugin_rows``; plugins with a ``finalize_run`` hook (e.g.
+        ``trace``) run it after attribution.  ``run_tracebox=True`` is
+        equivalent to adding ``"trace"`` to the selection.
+
         ``site_rng="per-site"`` switches the site phase to independent
         per-event RNG substreams (see the module docstring) — the mode
-        the sharded engine golden-tests against.
+        the sharded engine golden-tests against.  ``None`` resolves to
+        :attr:`default_site_rng`.
 
         ``entry_sink`` collects the week's ``(site_index, kind, result,
         elapsed)`` site-phase entries in event order (what campaign
@@ -892,6 +1066,11 @@ class ScanEngine:
         """
         if backend not in ("objects", "store"):
             raise ValueError(f"unknown backend: {backend!r}")
+        if site_rng is None:
+            site_rng = self.default_site_rng
+        selection = resolve_plugins(tuple(plugins) if plugins is not None else None)
+        if run_tracebox and "trace" not in selection.names:
+            selection = resolve_plugins(selection.names + ("trace",))
         world = self.world
         plan = self.plan_for(ip_version, populations)
         quic_config = quic_config or QuicScanConfig(ip_version=ip_version)
@@ -906,8 +1085,11 @@ class ScanEngine:
             run = WeeklyRun(week=week, vantage_id=vantage_id, ip_version=ip_version)
 
         # Phase 1: per-site exchanges, in reference trigger order.
-        events, quic_capable = self._schedule(plan, week, vantage_id, include_tcp)
+        events, quic_capable = self._schedule(
+            plan, week, vantage_id, include_tcp, selection
+        )
         records = run.site_records
+        plugin_rows: dict[tuple[int, int], tuple] = {}
         cache = self.exchange_cache
         cache_base = (
             cache.stats.snapshot()
@@ -923,9 +1105,17 @@ class ScanEngine:
             }
         telemetry = self.telemetry
         tracer = telemetry.tracer if telemetry is not None else None
-        site_span = (
-            tracer.begin("site", "phase", week=str(week), events=len(events))
-            if tracer is not None
+        if tracer is not None:
+            span_attrs = dict(week=str(week), events=len(events))
+            if selection.names != DEFAULT_PLUGINS:
+                span_attrs["plugins"] = ",".join(selection.names)
+            site_span = tracer.begin("site", "phase", **span_attrs)
+        else:
+            site_span = None
+        supervision = getattr(self, "supervision", None)
+        sup_base = (
+            supervision.snapshot()
+            if supervision is not None and phase_stats is not None
             else None
         )
         self._execute_site_phase(
@@ -942,9 +1132,16 @@ class ScanEngine:
             replay,
             populations=tuple(populations),
             include_tcp=include_tcp,
+            plugins=selection.names,
+            plugin_rows=plugin_rows,
         )
         if tracer is not None:
             tracer.end(site_span)
+        if sup_base is not None:
+            sup_now = supervision.snapshot()
+            phase_stats.shard_retries += sup_now[0] - sup_base[0]
+            phase_stats.shard_timeouts += sup_now[1] - sup_base[1]
+            phase_stats.shard_failures += sup_now[2] - sup_base[2]
         if phase_stats is not None:
             now = perf_counter()
             phase_stats.site_phase_seconds += now - phase_start
@@ -968,11 +1165,12 @@ class ScanEngine:
             self._attribute_objects(run, plan, records, quic_capable, include_tcp, share)
         if tracer is not None:
             tracer.end(attr_span)
+        self._attribute_plugins(run, plan, selection, plugin_rows, telemetry)
         if phase_stats is not None:
             phase_stats.attribution_seconds += perf_counter() - phase_start
 
-        if run_tracebox:
-            _run_traces(world, week, vantage_id, ip_version, run)
+        for plugin in selection.finalizers:
+            plugin.finalize_run(world, run, week, vantage_id, ip_version)
         return run
 
     def _attribute_objects(
@@ -1031,6 +1229,65 @@ class ScanEngine:
             )
         run.attach(store)
 
+    def _attribute_plugins(
+        self,
+        run: WeeklyRun,
+        plan: ScanPlan,
+        selection: PluginSelection,
+        plugin_rows: dict[tuple[int, int], tuple],
+        telemetry=None,
+    ) -> None:
+        """Merge per-variant rows into per-plugin tables on the run.
+
+        Multi-variant plugins merge field-wise: the last variant in
+        declaration order with a non-``None`` value for a field wins.
+        Store-backed runs additionally materialise the merged rows as
+        per-plugin columns (:meth:`ObservationStore.add_plugin_columns`)
+        aligned with the plan's site segments.
+        """
+        if not selection.row_plugins:
+            return
+        tracer = telemetry.tracer if telemetry is not None else None
+        by_kind: dict[int, dict[int, tuple]] = {}
+        for (site_index, kind), row in plugin_rows.items():
+            by_kind.setdefault(kind, {})[site_index] = row
+        for plugin in selection.row_plugins:
+            span = (
+                tracer.begin("plugin", "phase", plugin=plugin.name)
+                if tracer is not None
+                else None
+            )
+            width = len(plugin.fields)
+            merged: dict[int, tuple] = {}
+            for binding in selection.bindings:
+                if binding.plugin is not plugin:
+                    continue
+                for site_index, row in by_kind.get(binding.kind, {}).items():
+                    base = merged.get(site_index)
+                    if base is None:
+                        merged[site_index] = tuple(row)
+                    else:
+                        merged[site_index] = tuple(
+                            row[i] if row[i] is not None else base[i]
+                            for i in range(width)
+                        )
+            run.plugin_rows[plugin.name] = merged
+            store = getattr(run, "store", None)
+            if store is not None:
+                field_names = [field.name for field in plugin.fields]
+                columns: dict[str, list] = {name: [] for name in field_names}
+                for plan_site in plan.sites:
+                    row = merged.get(plan_site.site_index)
+                    for i, name in enumerate(field_names):
+                        columns[name].append(row[i] if row is not None else None)
+                store.add_plugin_columns(plugin.name, columns)
+            if telemetry is not None:
+                telemetry.registry.add_counter(
+                    f"plugin.{plugin.name}.rows", len(merged)
+                )
+            if tracer is not None:
+                tracer.end(span)
+
     def run_weeks(
         self,
         weeks: Sequence[Week],
@@ -1042,8 +1299,9 @@ class ScanEngine:
         quic_config: QuicScanConfig | None = None,
         tcp_config: TcpScanConfig | None = None,
         run_tracebox: bool = False,
+        plugins: Sequence[str] | None = None,
         reuse_site_results: bool = False,
-        site_rng: str = "shared",
+        site_rng: str | None = None,
         backend: str = "objects",
         phase_stats: ScanPhaseStats | None = None,
     ) -> list[WeeklyRun]:
@@ -1066,6 +1324,7 @@ class ScanEngine:
                 quic_config=quic_config,
                 tcp_config=tcp_config,
                 run_tracebox=run_tracebox,
+                plugins=plugins,
                 reuse=reuse,
                 site_rng=site_rng,
                 backend=backend,

@@ -44,6 +44,9 @@ class WeeklyRun:
     site_records: dict[int, SiteScanRecord] = field(default_factory=dict)
     traces: dict[int, TraceSummary] = field(default_factory=dict)
     trace_sampler: TraceSampler | None = None
+    #: Per-plugin measurement rows: plugin name -> site index -> the
+    #: plugin's merged field tuple (see :mod:`repro.plugins`).
+    plugin_rows: dict[str, dict[int, tuple]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def quic_domains(self) -> list[DomainObservation]:
@@ -78,11 +81,15 @@ def run_weekly_scan(
     quic_config: QuicScanConfig | None = None,
     tcp_config: TcpScanConfig | None = None,
     run_tracebox: bool = False,
+    plugins: tuple[str, ...] | None = None,
     backend: str = "objects",
     telemetry=None,
     phase_stats=None,
 ) -> WeeklyRun:
     """Scan every domain of the selected populations for one week.
+
+    ``plugins`` selects the measurement plugins to run alongside the
+    core scan (default: just ``ecn``); see :mod:`repro.plugins`.
 
     ``backend="store"`` serves the observations from the columnar
     :mod:`repro.store` instead of materialising per-domain objects —
@@ -115,6 +122,7 @@ def run_weekly_scan(
             quic_config=quic_config,
             tcp_config=tcp_config,
             run_tracebox=run_tracebox,
+            plugins=plugins,
             backend=backend,
             phase_stats=phase_stats,
         )

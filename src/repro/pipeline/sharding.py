@@ -64,10 +64,12 @@ from typing import Sequence
 from repro.obs.spans import Tracer, decode_obs_blob, encode_obs_blob
 from repro.pipeline.engine import (
     QUIC_EVENT,
+    TCP_EVENT,
     ScanEngine,
     SiteEvent,
     SiteResultCache,
 )
+from repro.plugins.registry import DEFAULT_PLUGINS, resolve_plugins
 from repro.scanner.quic_scan import QuicScanConfig
 from repro.scanner.tcp_scan import TcpScanConfig
 from repro.store.codec import (
@@ -159,9 +161,15 @@ class ShardedScanEngine(ScanEngine):
     Drop-in for ``ScanEngine``: ``run_week`` / ``run_weeks`` /
     ``site_events`` keep their signatures, and scan plans are shared
     with the world's serial engine so campaigns pay planning once no
-    matter which engine executes them.  ``site_rng`` is forced to
-    ``"per-site"`` — shared-stream semantics cannot be partitioned.
+    matter which engine executes them.  ``site_rng`` defaults to
+    ``"per-site"`` (:attr:`default_site_rng`) — shared-stream semantics
+    cannot be partitioned.  ``run_week`` folds this engine's
+    shard-supervision deltas (retries, timeouts, failures) into the
+    caller's ``phase_stats``; the base engine does that whenever a
+    ``supervision`` attribute exists.
     """
+
+    default_site_rng = "per-site"
 
     def __init__(
         self,
@@ -206,27 +214,6 @@ class ShardedScanEngine(ScanEngine):
         self._pool = None
 
     # ------------------------------------------------------------------
-    def run_week(self, week, vantage_id="main-aachen", *, site_rng="per-site", **kwargs):
-        """As :meth:`ScanEngine.run_week`, defaulting to per-site RNG.
-
-        Folds this week's shard-supervision deltas (retries, timeouts,
-        failures) into the caller's ``phase_stats``.
-        """
-        phase_stats = kwargs.get("phase_stats")
-        base = self.supervision.snapshot() if phase_stats is not None else None
-        run = super().run_week(week, vantage_id, site_rng=site_rng, **kwargs)
-        if base is not None:
-            now = self.supervision.snapshot()
-            phase_stats.shard_retries += now[0] - base[0]
-            phase_stats.shard_timeouts += now[1] - base[1]
-            phase_stats.shard_failures += now[2] - base[2]
-        return run
-
-    def run_weeks(self, weeks, vantage_id="main-aachen", *, site_rng="per-site", **kwargs):
-        """As :meth:`ScanEngine.run_weeks`, defaulting to per-site RNG."""
-        return super().run_weeks(weeks, vantage_id, site_rng=site_rng, **kwargs)
-
-    # ------------------------------------------------------------------
     def partition(self, events: list[SiteEvent]) -> list[list[SiteEvent]]:
         """Stable partition of the site phase: shard = site_index mod N.
 
@@ -254,6 +241,8 @@ class ShardedScanEngine(ScanEngine):
         replay=None,
         populations=None,
         include_tcp=False,
+        plugins=None,
+        plugin_rows=None,
     ) -> None:
         if site_rng == "shared":
             raise ValueError(
@@ -268,6 +257,7 @@ class ShardedScanEngine(ScanEngine):
                 records,
                 entry_sink=entry_sink,
                 shard_of=lambda site_index: site_index % self.shards,
+                plugin_rows=plugin_rows,
             )
             return
         if reuse is not None and self.executor == "process":
@@ -322,6 +312,7 @@ class ShardedScanEngine(ScanEngine):
             entry_sink=entry_sink,
             source=f"sharded merge ({self.executor}, {self.shards} shards)",
             shard_of=lambda site_index: site_index % self.shards,
+            plugin_rows=plugin_rows,
         )
 
     # ------------------------------------------------------------------
@@ -504,13 +495,18 @@ def _execute_entries(
     """
     out: list[tuple[int, int, object, float]] = []
     records: dict = {}
+    plugin_rows: dict[tuple[int, int], tuple] = {}
     for event in events:
         elapsed = engine._run_event_per_site(
             event, week, vantage_id, ip_version, quic_config, tcp_config,
-            records, reuse,
+            records, reuse, plugin_rows=plugin_rows,
         )
-        record = records[event.site_index]
-        result = record.quic if event.kind == QUIC_EVENT else record.tcp
+        if event.kind == QUIC_EVENT:
+            result = records[event.site_index].quic
+        elif event.kind == TCP_EVENT:
+            result = records[event.site_index].tcp
+        else:
+            result = plugin_rows[(event.site_index, event.kind)]
         out.append((event.site_index, event.kind, result, elapsed))
     return out
 
@@ -746,13 +742,16 @@ class ShmPoolScanEngine(ShardedScanEngine):
         return max(1, -(-len(self.world.sites) // self.workers))
 
     @staticmethod
-    def _spec(vantage_id, ip_version, populations, include_tcp, quic_config, tcp_config):
+    def _spec(
+        vantage_id, ip_version, populations, include_tcp, quic_config, tcp_config,
+        plugins,
+    ):
         # Frozen-dataclass configs hash and compare by value, so a spec
         # tuple is usable as a dict key and matches across run_week /
         # prefetch_weeks calls that resolved the same defaults.
         return (
             vantage_id, ip_version, tuple(populations), include_tcp,
-            quic_config, tcp_config,
+            quic_config, tcp_config, tuple(plugins),
         )
 
     def prefetch_weeks(
@@ -765,6 +764,7 @@ class ShmPoolScanEngine(ShardedScanEngine):
         include_tcp: bool = False,
         quic_config: QuicScanConfig | None = None,
         tcp_config: TcpScanConfig | None = None,
+        plugins: Sequence[str] | None = None,
     ) -> int:
         """Dispatch tickets covering ``weeks`` ahead of their run_week.
 
@@ -775,8 +775,10 @@ class ShmPoolScanEngine(ShardedScanEngine):
         """
         quic_config = quic_config or QuicScanConfig(ip_version=ip_version)
         tcp_config = tcp_config or TcpScanConfig(ip_version=ip_version)
+        names = resolve_plugins(tuple(plugins) if plugins is not None else None).names
         spec = self._spec(
-            vantage_id, ip_version, populations, include_tcp, quic_config, tcp_config
+            vantage_id, ip_version, populations, include_tcp, quic_config,
+            tcp_config, names,
         )
         todo = [
             week
@@ -825,6 +827,8 @@ class ShmPoolScanEngine(ShardedScanEngine):
         replay=None,
         populations=None,
         include_tcp=False,
+        plugins=None,
+        plugin_rows=None,
     ) -> None:
         if site_rng == "shared":
             raise ValueError(
@@ -840,6 +844,7 @@ class ShmPoolScanEngine(ShardedScanEngine):
                 records,
                 entry_sink=entry_sink,
                 shard_of=lambda site_index: site_index // span,
+                plugin_rows=plugin_rows,
             )
             return
         if reuse is not None:
@@ -850,8 +855,11 @@ class ShmPoolScanEngine(ShardedScanEngine):
             )
         if populations is None:
             populations = ("cno", "toplist")
+        if plugins is None:
+            plugins = DEFAULT_PLUGINS
         spec = self._spec(
-            vantage_id, ip_version, populations, include_tcp, quic_config, tcp_config
+            vantage_id, ip_version, populations, include_tcp, quic_config,
+            tcp_config, plugins,
         )
         merged = self._collect_week(week, spec)
         # Always drain the stash (bounded memory either way); ingest the
@@ -869,6 +877,7 @@ class ShmPoolScanEngine(ShardedScanEngine):
             entry_sink=entry_sink,
             source=f"shm-pool merge ({self.workers} workers)",
             shard_of=lambda site_index: site_index // span,
+            plugin_rows=plugin_rows,
         )
 
     # ------------------------------------------------------------------
@@ -974,13 +983,14 @@ class ShmPoolScanEngine(ShardedScanEngine):
 
     def _run_ticket_inline(self, ticket: Ticket, spec: tuple, *, attempt: int = 0) -> dict:
         (vantage_id, ip_version, populations, include_tcp,
-         quic_config, tcp_config) = spec
+         quic_config, tcp_config, plugins) = spec
         instrumented = self.telemetry is not None
         week_entries = {}
         for week in ticket.weeks:
             events = self.site_events(
                 week, vantage_id, ip_version=ip_version,
                 populations=populations, include_tcp=include_tcp,
+                plugins=plugins,
             )
             mine = [e for e in events if ticket.site_lo <= e.site_index < ticket.site_hi]
             # Fallback spans are recorded into a throwaway tracer and
@@ -1067,7 +1077,8 @@ class _ShmWorker:
     def __init__(self, engine: ScanEngine, fault_plan):
         self.engine = engine
         self.fault_plan = fault_plan
-        #: (week, vantage, family, populations, tcp) -> full event list.
+        #: (week, vantage, family, populations, tcp, plugins) -> full
+        #: event list.
         self.events: dict[tuple, list[SiteEvent]] = {}
         #: Full ticket identity -> encoded per-week result buffers.
         self.results: dict[tuple, tuple[bytes, ...]] = {}
@@ -1116,10 +1127,10 @@ def _pool_run_ticket(payload) -> list:
         raise RuntimeError("worker was not initialised with a shared world")
     (index, attempt, site_lo, site_hi, weeks,
      vantage_id, ip_version, populations, include_tcp,
-     quic_config, tcp_config) = payload
+     quic_config, tcp_config, plugins) = payload
     engine = state.engine
     memo_key = (site_lo, site_hi, weeks, vantage_id, ip_version,
-                populations, include_tcp, quic_config, tcp_config)
+                populations, include_tcp, quic_config, tcp_config, plugins)
     cached = state.results.get(memo_key)
     built: list[bytes] = []
     out = []
@@ -1129,12 +1140,13 @@ def _pool_run_ticket(payload) -> list:
         if cached is not None:
             buffer = cached[position]
         else:
-            events_key = (week, vantage_id, ip_version, populations, include_tcp)
+            events_key = (week, vantage_id, ip_version, populations, include_tcp, plugins)
             events = state.events.get(events_key)
             if events is None:
                 events = engine.site_events(
                     week, vantage_id, ip_version=ip_version,
                     populations=populations, include_tcp=include_tcp,
+                    plugins=plugins,
                 )
                 state.events[events_key] = events
             mine = [e for e in events if site_lo <= e.site_index < site_hi]

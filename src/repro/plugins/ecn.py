@@ -1,0 +1,24 @@
+"""The core ``ecn`` plugin: the paper's scan itself.
+
+The ECN-negotiating QUIC handshake (and the optional TCP control
+connection) are engine-owned — event kinds 0 and 1, the attribution
+tables, the store's core columns.  This plugin therefore declares
+*no* extra variants and *no* extra fields: selecting ``("ecn",)``
+runs exactly the scan the engine always ran, byte-identically, and
+every selection must include it because the per-domain observations
+all other plugins ride along with come from here.
+"""
+
+from __future__ import annotations
+
+from repro.plugins.base import MeasurementPlugin
+from repro.plugins.registry import register
+
+
+class EcnPlugin(MeasurementPlugin):
+    """Marker plugin naming the core ECN scan (kinds 0/1)."""
+
+    name = "ecn"
+
+
+register(EcnPlugin())

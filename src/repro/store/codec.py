@@ -41,6 +41,16 @@ telemetry corruption is caught by the exact machinery that guards the
 results.  The blob is opaque to this module (empty when the run is
 uninstrumented); :func:`decode_shard_payload` keeps its two-tuple
 shape and :func:`decode_shard_payload_obs` exposes the blob.
+
+Measurement-plugin variants (``repro.plugins``) add a fourth entry
+tag — :data:`_RESULT_ROW` — carrying a typed per-flow value tuple
+(``None`` / bool / int / float / string-table ref per field) instead
+of a full result object.  Plugin rows are what variants contribute to
+the store, so shipping the row rather than the raw result keeps shard
+and ticket frames small.  The tag is additive: buffers produced by
+default (``ecn``-only) runs contain no row entries and remain
+byte-identical to pre-plugin buffers, which keeps existing campaign
+checkpoints valid.
 """
 
 from __future__ import annotations
@@ -81,6 +91,16 @@ MAGIC = b"ECNSTOR4"
 _RESULT_NONE = 0
 _RESULT_QUIC = 1
 _RESULT_TCP = 2
+_RESULT_ROW = 3
+
+# Plugin-row value tags (one per tuple element).
+_V_NONE = 0
+_V_FALSE = 1
+_V_TRUE = 2
+_V_INT = 3  # non-negative varint
+_V_NEG_INT = 4  # varint of -(value + 1)
+_V_FLOAT = 5  # IEEE-754 double
+_V_STR = 6  # string-table ref
 
 _OUTCOMES = tuple(ValidationOutcome)
 _OUTCOME_INDEX = {outcome: index for index, outcome in enumerate(_OUTCOMES)}
@@ -359,6 +379,64 @@ def _decode_tcp(buf: bytes, offset: int, strings: list[str]) -> tuple[TcpScanOut
     return outcome, offset
 
 
+def _encode_row(row: tuple, out: bytearray, table: StringTable) -> None:
+    out += encode_varint(len(row))
+    for value in row:
+        if value is None:
+            out.append(_V_NONE)
+        elif value is False:
+            out.append(_V_FALSE)
+        elif value is True:
+            out.append(_V_TRUE)
+        elif isinstance(value, int):
+            if value >= 0:
+                out.append(_V_INT)
+                out += encode_varint(value)
+            else:
+                out.append(_V_NEG_INT)
+                out += encode_varint(-value - 1)
+        elif isinstance(value, float):
+            out.append(_V_FLOAT)
+            out += _DOUBLE.pack(value)
+        elif isinstance(value, str):
+            out.append(_V_STR)
+            out += encode_varint(table.ref(value))
+        else:
+            raise TypeError(
+                f"cannot encode plugin row value of type {type(value).__name__}"
+            )
+
+
+def _decode_row(buf: bytes, offset: int, strings: list[str]) -> tuple[tuple, int]:
+    count, offset = decode_varint(buf, offset)
+    values = []
+    for _ in range(count):
+        tag = buf[offset]
+        offset += 1
+        if tag == _V_NONE:
+            values.append(None)
+        elif tag == _V_FALSE:
+            values.append(False)
+        elif tag == _V_TRUE:
+            values.append(True)
+        elif tag == _V_INT:
+            value, offset = decode_varint(buf, offset)
+            values.append(value)
+        elif tag == _V_NEG_INT:
+            value, offset = decode_varint(buf, offset)
+            values.append(-value - 1)
+        elif tag == _V_FLOAT:
+            (value,) = _DOUBLE.unpack_from(buf, offset)
+            offset += 8
+            values.append(value)
+        elif tag == _V_STR:
+            ref, offset = decode_varint(buf, offset)
+            values.append(strings[ref])
+        else:
+            raise ValueError(f"unknown plugin row value tag {tag}")
+    return tuple(values), offset
+
+
 # ----------------------------------------------------------------------
 # Public API
 # ----------------------------------------------------------------------
@@ -389,6 +467,9 @@ def encode_shard_results(
         elif isinstance(result, TcpScanOutcome):
             body.append(_RESULT_TCP)
             _encode_tcp(result, body, table)
+        elif isinstance(result, tuple):
+            body.append(_RESULT_ROW)
+            _encode_row(result, body, table)
         else:
             raise TypeError(
                 f"cannot encode shard result of type {type(result).__name__}"
@@ -440,6 +521,8 @@ def decode_shard_payload_obs(
             result, offset = _decode_quic(buf, offset, strings)
         elif tag == _RESULT_TCP:
             result, offset = _decode_tcp(buf, offset, strings)
+        elif tag == _RESULT_ROW:
+            result, offset = _decode_row(buf, offset, strings)
         else:
             raise ValueError(f"unknown shard result tag {tag}")
         entries.append((site_index, kind, result, elapsed))
