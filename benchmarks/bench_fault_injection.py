@@ -76,10 +76,10 @@ def _campaign(world, **kwargs):
 def _campaigns_equal(reference, candidate) -> bool:
     if reference.weeks() != candidate.weeks():
         return False
-    for ref_run, run in zip(reference.runs, candidate.runs):
+    for ref_run, run in zip(reference.runs, candidate.runs, strict=True):
         if len(ref_run.observations) != len(run.observations):
             return False
-        for exp, act in zip(ref_run.observations, run.observations):
+        for exp, act in zip(ref_run.observations, run.observations, strict=True):
             for name in OBSERVATION_FIELDS:
                 if getattr(exp, name) != getattr(act, name):
                     return False

@@ -1,0 +1,157 @@
+"""repro-lint configuration: TOML-declared per-rule path scopes.
+
+Which invariant applies where is policy, not code — REP005 (``__slots__``)
+binds only the designated hot modules, REP004 (codec discipline) only
+the layers that persist bytes — so scopes live in ``repro-lint.toml``
+at the repository root, next to the code they govern::
+
+    [lint.rules.REP005]
+    include = ["src/repro/quic/**", "src/repro/store/**"]
+    exempt_bases = ["WeeklyRun"]
+
+``include`` / ``exclude`` are glob patterns matched against the
+POSIX-style path of each linted file **relative to the config file's
+directory** (``**`` spans directories).  Every other key in a rule
+table is passed to the rule verbatim as an option.  Without a config
+file every rule applies everywhere with default options — the mode the
+fixture tests run in.
+"""
+
+from __future__ import annotations
+
+import re
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.framework import LintError
+
+__all__ = ["CONFIG_FILENAME", "LintConfig", "RuleScope", "find_config", "load_config"]
+
+CONFIG_FILENAME = "repro-lint.toml"
+
+
+def _glob_to_regex(pattern: str) -> re.Pattern[str]:
+    """Translate a path glob (with ``**``) into an anchored regex."""
+    out = []
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if ch == "*":
+            if pattern[i : i + 2] == "**":
+                out.append(".*")
+                i += 2
+                if pattern[i : i + 1] == "/":
+                    i += 1  # "**/" also matches zero directories
+                continue
+            out.append("[^/]*")
+        elif ch == "?":
+            out.append("[^/]")
+        else:
+            out.append(re.escape(ch))
+        i += 1
+    return re.compile("^" + "".join(out) + "$")
+
+
+@dataclass(frozen=True, slots=True)
+class RuleScope:
+    """Path scope for one rule: include globs minus exclude globs."""
+
+    include: tuple[str, ...] = ("**",)
+    exclude: tuple[str, ...] = ()
+    _include_re: tuple[re.Pattern[str], ...] = field(default=(), repr=False)
+    _exclude_re: tuple[re.Pattern[str], ...] = field(default=(), repr=False)
+
+    @classmethod
+    def build(
+        cls, include: tuple[str, ...] = ("**",), exclude: tuple[str, ...] = ()
+    ) -> "RuleScope":
+        return cls(
+            include=include,
+            exclude=exclude,
+            _include_re=tuple(_glob_to_regex(p) for p in include),
+            _exclude_re=tuple(_glob_to_regex(p) for p in exclude),
+        )
+
+    def matches(self, relpath: str) -> bool:
+        if not any(p.match(relpath) for p in self._include_re):
+            return False
+        return not any(p.match(relpath) for p in self._exclude_re)
+
+
+@dataclass(frozen=True, slots=True)
+class LintConfig:
+    """Resolved configuration: root dir, per-rule scopes and options."""
+
+    root: Path
+    scopes: dict[str, RuleScope] = field(default_factory=dict)
+    options: dict[str, dict] = field(default_factory=dict)
+
+    def scope_for(self, code: str) -> RuleScope:
+        scope = self.scopes.get(code)
+        if scope is None:
+            scope = RuleScope.build()
+        return scope
+
+    def relpath(self, path: Path) -> str:
+        """The scope-matching path: config-root-relative when possible."""
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+def _as_str_tuple(value: object, *, key: str, path: Path) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise LintError(f"{path}: '{key}' must be an array of strings")
+    return tuple(value)
+
+
+def load_config(path: Path) -> LintConfig:
+    """Parse ``repro-lint.toml``; raise :class:`LintError` on bad shape."""
+    try:
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+    except OSError as exc:
+        raise LintError(f"{path}: cannot read config: {exc}") from exc
+    except tomllib.TOMLDecodeError as exc:
+        raise LintError(f"{path}: invalid TOML: {exc}") from exc
+
+    lint_table = data.get("lint", {})
+    if not isinstance(lint_table, dict):
+        raise LintError(f"{path}: [lint] must be a table")
+    rules_table = lint_table.get("rules", {})
+    if not isinstance(rules_table, dict):
+        raise LintError(f"{path}: [lint.rules] must be a table")
+
+    scopes: dict[str, RuleScope] = {}
+    options: dict[str, dict] = {}
+    for code, table in rules_table.items():
+        if not isinstance(table, dict):
+            raise LintError(f"{path}: [lint.rules.{code}] must be a table")
+        include = ("**",)
+        exclude: tuple[str, ...] = ()
+        opts: dict = {}
+        for key, value in table.items():
+            if key == "include":
+                include = _as_str_tuple(value, key=f"{code}.include", path=path)
+            elif key == "exclude":
+                exclude = _as_str_tuple(value, key=f"{code}.exclude", path=path)
+            else:
+                opts[key] = value
+        scopes[code] = RuleScope.build(include=include, exclude=exclude)
+        options[code] = opts
+    return LintConfig(root=path.parent, scopes=scopes, options=options)
+
+
+def find_config(start: Path) -> Path | None:
+    """Walk up from ``start`` looking for ``repro-lint.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current, *current.parents]:
+        config_path = candidate / CONFIG_FILENAME
+        if config_path.is_file():
+            return config_path
+    return None

@@ -1,0 +1,34 @@
+"""The REP rule set — one module per invariant (docs/static-analysis.md)."""
+
+from __future__ import annotations
+
+from repro.lint.framework import Rule
+from repro.lint.rules.codec import CodecDisciplineRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.forksafety import ForkSafetyRule
+from repro.lint.rules.purity import PluginPurityRule
+from repro.lint.rules.slots import SlotsRule
+from repro.lint.rules.stdout import StdoutDisciplineRule
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "CodecDisciplineRule",
+    "DeterminismRule",
+    "ForkSafetyRule",
+    "PluginPurityRule",
+    "SlotsRule",
+    "StdoutDisciplineRule",
+]
+
+#: Every registered rule, in code order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    DeterminismRule,
+    PluginPurityRule,
+    ForkSafetyRule,
+    CodecDisciplineRule,
+    SlotsRule,
+    StdoutDisciplineRule,
+)
+
+RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,104 @@
+"""REP001 — all randomness and wall-clock reads flow through RngStream.
+
+Two runs with one master seed must be bit-identical (the replay cache,
+checkpoint resume and the golden matrices all assume it), so ambient
+entropy sources are banned everywhere except the one module that
+wraps them: ``repro/util/rng.py``.  Banned at any nesting depth:
+
+* importing :mod:`random` or :mod:`secrets` at all;
+* wall-clock reads — ``time.time`` / ``time.time_ns``,
+  ``datetime.now`` / ``utcnow`` / ``today`` (simulated time comes from
+  :class:`repro.netsim.clock.SimClock`);
+* process entropy — ``os.urandom``, ``uuid.uuid4``.
+
+The *monotonic* clock (``time.perf_counter`` / ``time.monotonic``) and
+``time.sleep`` stay legal: telemetry spans and retry backoff time the
+run without feeding a single bit into results.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import Rule, dotted_name
+
+__all__ = ["DeterminismRule"]
+
+#: Modules whose import is itself a violation.
+BANNED_MODULES = frozenset({"random", "secrets"})
+
+#: Fully-qualified callables that read wall clocks or ambient entropy.
+BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "os.urandom",
+        "uuid.uuid4",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class DeterminismRule(Rule):
+    code = "REP001"
+    name = "determinism"
+    rationale = (
+        "ambient entropy breaks bit-identical replay; every draw must "
+        "come from a named RngStream (repro/util/rng.py)"
+    )
+
+    def __init__(self, options: dict | None = None):
+        super().__init__(options)
+        #: local alias -> canonical dotted origin, e.g. {"dt": "datetime.datetime"}
+        self._origins: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in BANNED_MODULES:
+                self.report(
+                    node,
+                    f"import of {root!r}: draws must come from RngStream "
+                    "(repro.util.rng), not ambient entropy",
+                )
+            self._origins[alias.asname or alias.name.split(".")[0]] = (
+                alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        root = module.split(".")[0]
+        if root in BANNED_MODULES and node.level == 0:
+            self.report(
+                node,
+                f"import from {root!r}: draws must come from RngStream "
+                "(repro.util.rng), not ambient entropy",
+            )
+        elif node.level == 0 and module:
+            for alias in node.names:
+                self._origins[alias.asname or alias.name] = f"{module}.{alias.name}"
+        self.generic_visit(node)
+
+    def _canonical(self, chain: str) -> str:
+        head, _, rest = chain.partition(".")
+        origin = self._origins.get(head)
+        if origin is None:
+            return chain
+        return f"{origin}.{rest}" if rest else origin
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        if chain is not None:
+            canonical = self._canonical(chain)
+            if canonical in BANNED_CALLS:
+                self.report(
+                    node,
+                    f"call to {canonical}(): wall clocks and ambient entropy "
+                    "are banned outside repro/util/rng.py — draw from an "
+                    "RngStream or read the SimClock",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,201 @@
+"""REP002 — plugin hooks must be pure over the exchange result.
+
+The exchange-replay cache memoises ``(result, clock advances)`` per
+distinct :class:`~repro.exchange.core.ExchangeInputs`; a cached variant
+replays the stored result object and *re-runs the plugin hooks over
+it*.  If :meth:`MeasurementPlugin.row` or
+:meth:`MeasurementPlugin.client_config` reads a clock, draws
+randomness, or touches module globals, fresh and replayed runs
+disagree and the byte-identity golden matrices fail — or worse, pass
+by luck (docs/plugins.md "Purity requirement").
+
+This rule finds ``MeasurementPlugin`` subclasses, takes their ``row``
+/ ``client_config`` overrides, follows intra-module calls (module
+functions and ``self.*`` methods, transitively) and flags, anywhere
+reachable:
+
+* clock or entropy calls (the REP001 set **plus** the monotonic clock
+  — even a perf counter is hidden state to a replayed row);
+* constructing ``RngStream`` / ``derive_rng`` draws;
+* ``global`` statements and writes to module-level names;
+* reads of *mutable* module-level globals (dicts/lists accumulated at
+  runtime; module constants are fine).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import Rule, dotted_name
+from repro.lint.rules.common import (
+    canonical_chain,
+    is_final_annotation,
+    is_immutable_value,
+    module_import_origins,
+)
+from repro.lint.rules.determinism import BANNED_CALLS, BANNED_MODULES
+
+__all__ = ["PluginPurityRule"]
+
+#: Clock/entropy callables banned inside plugin hooks, beyond REP001:
+#: monotonic clocks are fine for telemetry but are hidden state here.
+HOOK_BANNED_CALLS = BANNED_CALLS | frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "repro.util.rng.RngStream",
+        "repro.util.rng.derive_rng",
+        "RngStream",
+        "derive_rng",
+    }
+)
+
+#: Plugin hook methods the replay cache assumes are pure.
+DEFAULT_HOOK_METHODS = ("row", "client_config")
+
+
+class PluginPurityRule(Rule):
+    code = "REP002"
+    name = "plugin-purity"
+    rationale = (
+        "replayed cache hits re-run plugin hooks over the stored result; "
+        "impure hooks make fresh and replayed campaigns disagree"
+    )
+
+    def run(self, ctx):  # type: ignore[override]
+        self.ctx = ctx
+        self.violations = []
+        self._analyze(ctx.tree)
+        return self.violations
+
+    # ------------------------------------------------------------------
+    def _analyze(self, tree: ast.Module) -> None:
+        origins = module_import_origins(tree)
+        module_functions: dict[str, ast.FunctionDef] = {}
+        module_bindings: dict[str, ast.AST] = {}
+        for stmt in tree.body:
+            if isinstance(stmt, ast.FunctionDef):
+                module_functions[stmt.name] = stmt
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        module_bindings[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if stmt.value is not None and not is_final_annotation(stmt.annotation):
+                    module_bindings[stmt.target.id] = stmt.value
+
+        extra_immutable = frozenset(self.options.get("immutable_calls", ()))
+        mutable_globals = {
+            name
+            for name, value in module_bindings.items()
+            if not is_immutable_value(value, extra_immutable)
+        }
+        hook_names = tuple(self.options.get("methods", DEFAULT_HOOK_METHODS))
+
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ClassDef) and self._is_plugin_class(stmt):
+                self._check_class(
+                    stmt, hook_names, module_functions, module_bindings,
+                    mutable_globals, origins,
+                )
+
+    @staticmethod
+    def _is_plugin_class(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            chain = dotted_name(base)
+            if chain is not None and chain.split(".")[-1] == "MeasurementPlugin":
+                return True
+        return False
+
+    def _check_class(
+        self,
+        cls: ast.ClassDef,
+        hook_names: tuple[str, ...],
+        module_functions: dict[str, ast.FunctionDef],
+        module_bindings: dict[str, ast.AST],
+        mutable_globals: set[str],
+        origins: dict[str, str],
+    ) -> None:
+        methods = {
+            stmt.name: stmt for stmt in cls.body if isinstance(stmt, ast.FunctionDef)
+        }
+        # Reachable bodies, each tagged with the hook whose call chain
+        # reaches it (for the report message).
+        worklist: list[tuple[ast.FunctionDef, str]] = [
+            (methods[name], f"{cls.name}.{name}") for name in hook_names if name in methods
+        ]
+        seen: set[str] = {fn.name for fn, _ in worklist}
+        while worklist:
+            fn, via = worklist.pop()
+            self._check_body(fn, via, mutable_globals, module_bindings, origins)
+            for call in (n for n in ast.walk(fn) if isinstance(n, ast.Call)):
+                callee: ast.FunctionDef | None = None
+                if isinstance(call.func, ast.Name):
+                    callee = module_functions.get(call.func.id)
+                elif (
+                    isinstance(call.func, ast.Attribute)
+                    and isinstance(call.func.value, ast.Name)
+                    and call.func.value.id == "self"
+                ):
+                    callee = methods.get(call.func.attr)
+                if callee is not None and callee.name not in seen:
+                    seen.add(callee.name)
+                    worklist.append((callee, f"{via} -> {callee.name}"))
+
+    def _check_body(
+        self,
+        fn: ast.FunctionDef,
+        via: str,
+        mutable_globals: set[str],
+        module_bindings: dict[str, ast.AST],
+        origins: dict[str, str],
+    ) -> None:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                self.report(
+                    node,
+                    f"{via}: 'global {', '.join(node.names)}' in a plugin "
+                    "hook — hooks must be pure over the exchange result",
+                )
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                banned = BANNED_MODULES | {"time", "datetime"}
+                modules = (
+                    [a.name for a in node.names]
+                    if isinstance(node, ast.Import)
+                    else [node.module or ""]
+                )
+                for mod in modules:
+                    if mod.split(".")[0] in banned:
+                        self.report(
+                            node,
+                            f"{via}: imports {mod!r} inside a plugin hook "
+                            "path — clocks and entropy are hidden state to "
+                            "a replayed row",
+                        )
+            elif isinstance(node, ast.Call):
+                chain = dotted_name(node.func)
+                if chain is not None:
+                    canonical = canonical_chain(chain, origins)
+                    if canonical in HOOK_BANNED_CALLS:
+                        self.report(
+                            node,
+                            f"{via}: calls {canonical}() — plugin hooks must "
+                            "not read clocks or draw randomness (the replay "
+                            "cache re-runs them over stored results)",
+                        )
+            elif isinstance(node, ast.Name) and node.id in module_bindings:
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    self.report(
+                        node,
+                        f"{via}: writes module global {node.id!r} — hook "
+                        "state must live on the result row, not the module",
+                    )
+                elif isinstance(node.ctx, ast.Load) and node.id in mutable_globals:
+                    self.report(
+                        node,
+                        f"{via}: reads mutable module global {node.id!r} — "
+                        "runtime-accumulated state diverges between fresh "
+                        "and replayed runs",
+                    )

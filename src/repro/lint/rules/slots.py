@@ -1,0 +1,99 @@
+"""REP005 — ``__slots__`` required on classes in designated hot modules.
+
+The campaign simulates millions of exchanges; per-instance ``__dict__``
+on packet, frame, exchange-capsule and store types costs both memory
+and attribute-lookup time on the hottest paths (PR 2 measured the
+slotting of the QUIC wire types as part of the 5x fast path).  In the
+scoped modules (``quic/``, ``exchange/``, ``store/``) every class must
+either declare ``__slots__`` or be a ``@dataclass(slots=True)``.
+
+Exempt by construction: Protocols (typing artefacts), Enums (values
+are class-level singletons), exceptions (cold path, and BaseException
+needs ``__dict__`` for ``args`` bookkeeping in subclasses that add
+state), and — via the ``exempt_bases`` config option — classes forced
+to inherit an unslotted base, where adding ``__slots__`` would still
+leave the inherited ``__dict__``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import Rule, dotted_name
+
+__all__ = ["SlotsRule"]
+
+DEFAULT_EXEMPT_BASES = frozenset(
+    {
+        "Protocol",
+        "Generic",
+        "Enum",
+        "IntEnum",
+        "StrEnum",
+        "Flag",
+        "IntFlag",
+        "Exception",
+        "BaseException",
+        "NamedTuple",
+        "TypedDict",
+        "ABC",
+        "type",
+    }
+)
+
+
+def _has_slots_assignment(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "__slots__" for t in stmt.targets
+            ):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "__slots__":
+                return True
+    return False
+
+
+def _dataclass_with_slots(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        chain = dotted_name(deco.func)
+        if chain is None or chain.split(".")[-1] != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if (
+                kw.arg == "slots"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    return False
+
+
+class SlotsRule(Rule):
+    code = "REP005"
+    name = "slots"
+    rationale = (
+        "hot-path instances without __slots__ pay a per-object __dict__ "
+        "in memory and attribute-lookup time at campaign scale"
+    )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        exempt = DEFAULT_EXEMPT_BASES | frozenset(
+            self.options.get("exempt_bases", ())
+        )
+        for base in node.bases:
+            chain = dotted_name(base)
+            if chain is not None and chain.split(".")[-1] in exempt:
+                self.generic_visit(node)
+                return
+        if not (_has_slots_assignment(node) or _dataclass_with_slots(node)):
+            self.report(
+                node,
+                f"class {node.name} in a designated hot module lacks "
+                "__slots__ (or @dataclass(slots=True)): instances pay a "
+                "__dict__ on the campaign hot path",
+            )
+        self.generic_visit(node)

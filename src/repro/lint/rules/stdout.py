@@ -1,0 +1,40 @@
+"""REP006 — stdout carries reports; everything else names its stream.
+
+The CLI contract (``repro/cli.py`` docstring) is that stdout is
+machine-consumable report output and all diagnostics go to stderr,
+silenced by ``--quiet``.  A bare ``print()`` anywhere in the library
+violates that silently — a leftover debug print corrupts piped report
+output without failing a single test.  Every ``print`` outside the
+scoped-out report paths must pass an explicit ``file=`` argument
+(``sys.stderr`` for diagnostics, or a caller-provided stream like the
+``--progress`` heartbeat writer).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import Rule
+
+__all__ = ["StdoutDisciplineRule"]
+
+
+class StdoutDisciplineRule(Rule):
+    code = "REP006"
+    name = "stdout-discipline"
+    rationale = (
+        "stdout is the machine-readable report stream; diagnostics must "
+        "name their stream explicitly (file=sys.stderr)"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            has_stream = any(kw.arg in ("file", None) for kw in node.keywords)
+            if not has_stream:
+                self.report(
+                    node,
+                    "bare print() outside a report path: pass an explicit "
+                    "file= (sys.stderr for diagnostics) so piped report "
+                    "output stays clean",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,67 @@
+"""Tie framework + config + rules together: the ``run_lint`` entry point."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.framework import (
+    FileContext,
+    LintError,
+    Rule,
+    Violation,
+    iter_python_files,
+    lint_file,
+)
+from repro.lint.rules import ALL_RULES, RULES_BY_CODE
+
+__all__ = ["resolve_rules", "run_lint"]
+
+
+def resolve_rules(select: Sequence[str] | None) -> tuple[type[Rule], ...]:
+    """Rule classes for ``--select`` codes (all rules when ``None``)."""
+    if select is None:
+        return ALL_RULES
+    rules = []
+    for code in select:
+        rule = RULES_BY_CODE.get(code)
+        if rule is None:
+            known = ", ".join(sorted(RULES_BY_CODE))
+            raise LintError(f"unknown rule code {code!r} (known: {known})")
+        rules.append(rule)
+    return tuple(rules)
+
+
+def run_lint(
+    paths: Sequence[Path | str],
+    config: LintConfig | None = None,
+    select: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint ``paths`` (files or directories), returning sorted violations.
+
+    Each file is parsed exactly once; every selected rule whose
+    configured scope matches the file's config-relative path runs over
+    the shared tree.  Inline suppressions are already filtered out.
+    """
+    if config is None:
+        config = LintConfig(root=Path.cwd())
+    rules = resolve_rules(select)
+    violations: list[Violation] = []
+    for path in iter_python_files([Path(p) for p in paths]):
+        relpath = config.relpath(path)
+        applicable = [
+            rule for rule in rules if config.scope_for(rule.code).matches(relpath)
+        ]
+        if not applicable:
+            continue
+        ctx = FileContext.from_path(path, relpath)
+        violations.extend(
+            lint_file(
+                ctx,
+                applicable,
+                {rule.code: config.options.get(rule.code, {}) for rule in applicable},
+            )
+        )
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations

@@ -49,7 +49,7 @@ class PathTemplate:
         total = sum(self.weights)
         point = (bucket % 10_000) / 10_000.0 * total
         acc = 0.0
-        for variant, weight in zip(self.variants, self.weights):
+        for variant, weight in zip(self.variants, self.weights, strict=True):
             acc += weight
             if point < acc:
                 return variant

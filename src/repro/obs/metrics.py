@@ -32,6 +32,7 @@ wraps in the schema-versioned run report.
 from __future__ import annotations
 
 import math
+from typing import Callable, Union, cast
 
 __all__ = [
     "Counter",
@@ -68,7 +69,7 @@ class Counter:
 
     kind = "counter"
 
-    def __init__(self, name: str, value: int = 0):
+    def __init__(self, name: str, value: int = 0) -> None:
         self.name = name
         self.value = value
 
@@ -78,10 +79,10 @@ class Counter:
     def merge(self, other: "Counter") -> None:
         self.value += other.value
 
-    def to_entry(self) -> dict:
+    def to_entry(self) -> dict[str, object]:
         return {"kind": self.kind, "value": self.value}
 
-    def __repr__(self):  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.name!r}, {self.value})"
 
 
@@ -92,7 +93,7 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, value: float = 0.0):
+    def __init__(self, name: str, value: float = 0.0) -> None:
         self.name = name
         self.value = value
 
@@ -104,10 +105,10 @@ class Gauge:
         # recently folded-in observation, matching per-run semantics.
         self.value = other.value
 
-    def to_entry(self) -> dict:
+    def to_entry(self) -> dict[str, object]:
         return {"kind": self.kind, "value": self.value}
 
-    def __repr__(self):  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Gauge({self.name!r}, {self.value})"
 
 
@@ -123,7 +124,7 @@ class Histogram:
 
     kind = "histogram"
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -150,8 +151,8 @@ class Histogram:
         if other.max > self.max:
             self.max = other.max
 
-    def to_entry(self) -> dict:
-        entry = {
+    def to_entry(self) -> dict[str, object]:
+        entry: dict[str, object] = {
             "kind": self.kind,
             "count": self.count,
             "sum": self.total,
@@ -162,7 +163,7 @@ class Histogram:
             entry["max"] = self.max
         return entry
 
-    def __repr__(self):  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name!r}, n={self.count}, sum={self.total})"
 
 
@@ -177,7 +178,7 @@ class Ratio:
 
     kind = "ratio"
 
-    def __init__(self, name: str, numerator, denominator):
+    def __init__(self, name: str, numerator: Counter, denominator: Counter) -> None:
         self.name = name
         self.numerator = numerator
         self.denominator = denominator
@@ -186,7 +187,7 @@ class Ratio:
     def value(self) -> float:
         return safe_ratio(self.numerator.value, self.denominator.value)
 
-    def to_entry(self) -> dict:
+    def to_entry(self) -> dict[str, object]:
         return {
             "kind": self.kind,
             "value": self.value,
@@ -194,8 +195,12 @@ class Ratio:
             "denominator": self.denominator.name,
         }
 
-    def __repr__(self):  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Ratio({self.name!r}, {self.value})"
+
+
+#: Everything a registry can hold; narrowing is by ``isinstance``.
+Metric = Union[Counter, Gauge, Histogram, Ratio]
 
 
 class MetricsRegistry:
@@ -209,10 +214,12 @@ class MetricsRegistry:
 
     __slots__ = ("_metrics",)
 
-    def __init__(self):
-        self._metrics: dict[str, object] = {}
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
 
-    def _get_or_create(self, name: str, factory, kind: str):
+    def _get_or_create(
+        self, name: str, factory: Callable[[str], Metric], kind: str
+    ) -> Metric:
         metric = self._metrics.get(name)
         if metric is None:
             metric = factory(name)
@@ -224,13 +231,13 @@ class MetricsRegistry:
         return metric
 
     def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, Counter, "counter")
+        return cast(Counter, self._get_or_create(name, Counter, "counter"))
 
     def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, Gauge, "gauge")
+        return cast(Gauge, self._get_or_create(name, Gauge, "gauge"))
 
     def histogram(self, name: str) -> Histogram:
-        return self._get_or_create(name, Histogram, "histogram")
+        return cast(Histogram, self._get_or_create(name, Histogram, "histogram"))
 
     def ratio(self, name: str, numerator: str, denominator: str) -> Ratio:
         """Register a derived ratio over two counter names (created if absent)."""
@@ -238,7 +245,7 @@ class MetricsRegistry:
         if metric is None:
             metric = Ratio(name, self.counter(numerator), self.counter(denominator))
             self._metrics[name] = metric
-        elif metric.kind != "ratio":
+        elif not isinstance(metric, Ratio):
             raise TypeError(
                 f"metric {name!r} already registered as {metric.kind}, not ratio"
             )
@@ -253,7 +260,7 @@ class MetricsRegistry:
         """One-shot histogram observation for cold paths."""
         self.histogram(name).observe(value)
 
-    def get(self, name: str):
+    def get(self, name: str) -> Metric | None:
         return self._metrics.get(name)
 
     def value(self, name: str, default: float = 0.0) -> float:
@@ -261,7 +268,7 @@ class MetricsRegistry:
         metric = self._metrics.get(name)
         if metric is None:
             return default
-        if metric.kind == "histogram":
+        if isinstance(metric, Histogram):
             return metric.total
         return metric.value
 
@@ -283,14 +290,14 @@ class MetricsRegistry:
         of two ratios).
         """
         for name, metric in other._metrics.items():
-            if metric.kind == "ratio":
+            if isinstance(metric, Ratio):
                 self.ratio(name, metric.numerator.name, metric.denominator.name)
-                continue
-            mine = self._metrics.get(name)
-            if mine is None:
-                self._get_or_create(name, type(metric), metric.kind).merge(metric)
+            elif isinstance(metric, Counter):
+                self.counter(name).merge(metric)
+            elif isinstance(metric, Gauge):
+                self.gauge(name).merge(metric)
             else:
-                mine.merge(metric)
+                self.histogram(name).merge(metric)
 
     def counter_deltas(self, baseline: dict[str, int] | None = None) -> dict[str, int]:
         """Counter values (minus an optional baseline snapshot), zeros dropped.
@@ -301,7 +308,7 @@ class MetricsRegistry:
         baseline = baseline or {}
         deltas: dict[str, int] = {}
         for name, metric in self._metrics.items():
-            if metric.kind != "counter":
+            if not isinstance(metric, Counter):
                 continue
             delta = metric.value - baseline.get(name, 0)
             if delta:
@@ -312,7 +319,7 @@ class MetricsRegistry:
         for name, delta in deltas.items():
             self.counter(name).value += delta
 
-    def to_tree(self) -> dict:
+    def to_tree(self) -> dict[str, dict[str, object]]:
         """Flat ``name -> entry`` mapping, sorted, ratios evaluated last."""
         return {name: self._metrics[name].to_entry() for name in sorted(self._metrics)}
 

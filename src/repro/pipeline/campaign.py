@@ -461,7 +461,7 @@ def run_campaign(
 
                 now = engine.supervision.snapshot()
                 SupervisionStats(
-                    *(a - b for a, b in zip(now, supervision_base))
+                    *(a - b for a, b in zip(now, supervision_base, strict=True))
                 ).publish(registry)
     finally:
         if tracer is not None:

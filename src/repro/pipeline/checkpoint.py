@@ -37,11 +37,9 @@ from repro.quic.varint import decode_varint, encode_varint
 from repro.store import codec
 from repro.util.atomic import atomic_write_bytes
 from repro.util.framing import CodecCorruption, frame_payload, unframe_payload
+from repro.util.magics import CHECKPOINT_MAGIC
 from repro.util.weeks import Week
 from repro.web.snapshot import world_fingerprint
-
-#: File prefix: checkpoint format name + version.
-CHECKPOINT_MAGIC = b"ECNCKPT1"
 
 #: One checkpointed week's entries, as the site phase produced them.
 Entries = Sequence[tuple[int, int, object, float]]

@@ -52,7 +52,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import starmap
 from time import perf_counter
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Final, Sequence
 
 from repro.exchange import (
     ExchangeCache,
@@ -93,7 +93,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (world -> engine)
 QUIC_EVENT = 0
 TCP_EVENT = 1
 
-_KIND_NAMES = {QUIC_EVENT: "quic", TCP_EVENT: "tcp"}
+_KIND_NAMES: Final = {QUIC_EVENT: "quic", TCP_EVENT: "tcp"}
 
 
 def _kind_label(kind: int) -> str:
@@ -457,7 +457,7 @@ class ScanEngine:
             for site_index in touched:  # restore scan-order within the site
                 plan_site = by_site[site_index]
                 triples = sorted(
-                    zip(plan_site.positions, plan_site.ranks, plan_site.names)
+                    zip(plan_site.positions, plan_site.ranks, plan_site.names, strict=True)
                 )
                 plan_site.positions = [t[0] for t in triples]
                 plan_site.ranks = [t[1] for t in triples]
@@ -486,8 +486,8 @@ class ScanEngine:
         triggers = plan.quic_triggers
         if triggers is None:
             triggers = []
-            for plan_site, segment in zip(plan.sites, plan_columns(plan).segments):
-                name_at = dict(zip(plan_site.positions, plan_site.names))
+            for plan_site, segment in zip(plan.sites, plan_columns(plan).segments, strict=True):
+                name_at = dict(zip(plan_site.positions, plan_site.names, strict=True))
                 candidates = segment.quic_trigger_candidates()
                 for index, (rank_on, position) in enumerate(candidates):
                     rank_off = (
@@ -1189,7 +1189,7 @@ class ScanEngine:
             record = records.get(plan_site.site_index)
             if quic_capable[plan_site.site_index]:
                 result = record.quic if record is not None else None
-                for pos, rank in zip(plan_site.positions, plan_site.ranks):
+                for pos, rank in zip(plan_site.positions, plan_site.ranks, strict=True):
                     if rank < share:
                         obs = observations[pos]
                         obs.quic_attempted = True

@@ -953,7 +953,7 @@ class ShmPoolScanEngine(ShardedScanEngine):
                 target[(site_index, kind)] = (result, elapsed)
             prior = self._collected_stats.get(key, (0, 0, 0))
             self._collected_stats[key] = tuple(
-                a + b for a, b in zip(prior, stats)
+                a + b for a, b in zip(prior, stats, strict=True)
             )
             if obs:
                 self._collected_obs.setdefault(key, []).append(obs)
@@ -974,7 +974,7 @@ class ShmPoolScanEngine(ShardedScanEngine):
         for week, buffer in payload:
             entries, cache_stats, obs = decode_shard_payload_obs(buffer)
             week_entries[week] = (entries, tuple(cache_stats), obs)
-            totals = tuple(a + b for a, b in zip(totals, cache_stats))
+            totals = tuple(a + b for a, b in zip(totals, cache_stats, strict=True))
         # Fold only after every buffer decoded: a corrupt week must not
         # half-account a discarded attempt.
         if self.exchange_cache is not None:

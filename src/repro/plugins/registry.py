@@ -22,6 +22,7 @@ the base scan the store and attribution are built around.
 from __future__ import annotations
 
 import re
+from typing import Final
 
 from repro.plugins.base import (
     FIELD_KINDS,
@@ -51,13 +52,16 @@ def _reserved_field_names() -> frozenset:
     }
 
 
-RESERVED_FIELD_NAMES = _reserved_field_names()
+RESERVED_FIELD_NAMES: Final = _reserved_field_names()
 
-_PLUGINS: dict[str, MeasurementPlugin] = {}
-_BINDINGS_BY_KIND: dict[int, VariantBinding] = {}
-_BINDINGS_BY_PLUGIN: dict[str, tuple[VariantBinding, ...]] = {}
+# Registry state is Final (never rebound) and filled only during
+# import-time registration, so parent, forked shard workers and
+# shm-pool workers all hold identical contents (REP003).
+_PLUGINS: Final[dict[str, MeasurementPlugin]] = {}
+_BINDINGS_BY_KIND: Final[dict[int, VariantBinding]] = {}
+_BINDINGS_BY_PLUGIN: Final[dict[str, tuple[VariantBinding, ...]]] = {}
 _NEXT_KIND = PLUGIN_KIND_BASE
-_SELECTION_MEMO: dict[tuple, "PluginSelection"] = {}
+_SELECTION_MEMO: Final[dict[tuple, "PluginSelection"]] = {}
 
 
 def register(plugin: MeasurementPlugin) -> MeasurementPlugin:
@@ -67,6 +71,10 @@ def register(plugin: MeasurementPlugin) -> MeasurementPlugin:
     field names, unknown field kinds/transports, or fields declared
     without any variant to fill them.
     """
+    # The kind counter only advances during import-time registration
+    # (builtins register on `import repro.plugins`, in a fixed order),
+    # so every process that performs the same imports agrees on kinds.
+    # repro-lint: skip[REP003] import-time counter, identical in workers
     global _NEXT_KIND
     name = plugin.name
     if not isinstance(name, str) or not _NAME_RE.match(name):

@@ -53,7 +53,7 @@ class Wire(Protocol):
         ...
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QuicClientConfig:
     """Client knobs; defaults follow the paper's adaptations."""
 
@@ -79,7 +79,7 @@ class QuicClientConfig:
     trailing_pings: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class QuicConnectionResult:
     """Observables of one scan connection (what zgrab logged)."""
 
@@ -103,6 +103,23 @@ class QuicConnectionResult:
 
 class QuicClient:
     """Drives one connection + HTTP/3 request against a wire."""
+
+    __slots__ = (
+        "wire",
+        "config",
+        "rng",
+        "validator",
+        "result",
+        "_pn_next",
+        "_sent_markings",
+        "_acked",
+        "_space_counts",
+        "_server_pns",
+        "_dcid",
+        "_scid",
+        "_response_body",
+        "_response",
+    )
 
     def __init__(
         self,

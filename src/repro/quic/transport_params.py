@@ -38,7 +38,7 @@ _KNOWN_PARAMS = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransportParameters:
     """An ordered mapping of integer parameter ids to integer values."""
 

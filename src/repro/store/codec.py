@@ -71,6 +71,7 @@ from repro.util.framing import (
     frame_payload,
     unframe_payload,
 )
+from repro.util.magics import SHARD_RESULT_MAGIC
 
 __all__ = [
     "MAGIC",
@@ -84,8 +85,9 @@ __all__ = [
     "unframe_payload",
 ]
 
-#: Buffer prefix: codec name + format version.
-MAGIC = b"ECNSTOR4"
+#: Buffer prefix: codec name + format version (central registry:
+#: :mod:`repro.util.magics`).
+MAGIC = SHARD_RESULT_MAGIC
 
 
 _RESULT_NONE = 0
@@ -143,7 +145,7 @@ class StringTable:
 
     __slots__ = ("strings", "index")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.strings: list[str] = []
         self.index: dict[str, int] = {}
 
@@ -379,7 +381,7 @@ def _decode_tcp(buf: bytes, offset: int, strings: list[str]) -> tuple[TcpScanOut
     return outcome, offset
 
 
-def _encode_row(row: tuple, out: bytearray, table: StringTable) -> None:
+def _encode_row(row: tuple[object, ...], out: bytearray, table: StringTable) -> None:
     out += encode_varint(len(row))
     for value in row:
         if value is None:
@@ -407,9 +409,11 @@ def _encode_row(row: tuple, out: bytearray, table: StringTable) -> None:
             )
 
 
-def _decode_row(buf: bytes, offset: int, strings: list[str]) -> tuple[tuple, int]:
+def _decode_row(
+    buf: bytes, offset: int, strings: list[str]
+) -> tuple[tuple[object, ...], int]:
     count, offset = decode_varint(buf, offset)
-    values = []
+    values: list[object] = []
     for _ in range(count):
         tag = buf[offset]
         offset += 1
@@ -495,7 +499,9 @@ def decode_shard_payload_obs(
     is the opaque telemetry blob (``b""`` for uninstrumented shards) —
     decode it with :func:`repro.obs.spans.decode_obs_blob`.
     """
-    buf = unframe_payload(MAGIC, buf, what="shard result")
+    # bytes() is a no-op on the already-bytes copy=True return; it only
+    # narrows the static type from the codec's bytes|memoryview union.
+    buf = bytes(unframe_payload(MAGIC, buf, what="shard result"))
     offset = 0
     hits, offset = decode_varint(buf, offset)
     misses, offset = decode_varint(buf, offset)

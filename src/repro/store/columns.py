@@ -59,7 +59,7 @@ class SiteSegment:
     ):
         self.site_index = site_index
         self.positions = array("q", positions)
-        by_rank = sorted(zip(ranks, positions))
+        by_rank = sorted(zip(ranks, positions, strict=True))
         self.sorted_ranks = array("d", (pair[0] for pair in by_rank))
         self.rank_positions = array("q", (pair[1] for pair in by_rank))
 
@@ -86,7 +86,7 @@ class SiteSegment:
         """
         best: int | None = None
         candidates: list[tuple[float, int]] = []
-        for rank, position in zip(self.sorted_ranks, self.rank_positions):
+        for rank, position in zip(self.sorted_ranks, self.rank_positions, strict=True):
             if best is None or position < best:
                 best = position
                 candidates.append((rank, position))

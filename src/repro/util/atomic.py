@@ -13,7 +13,7 @@ import os
 from pathlib import Path
 
 
-def atomic_write_bytes(path: str | os.PathLike, buf: bytes) -> Path:
+def atomic_write_bytes(path: str | os.PathLike[str], buf: bytes) -> Path:
     """Atomically publish ``buf`` at ``path``; returns the final path.
 
     The payload lands in a same-directory temp file first (``os.replace``
@@ -26,6 +26,7 @@ def atomic_write_bytes(path: str | os.PathLike, buf: bytes) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-    tmp.write_bytes(buf)
+    tmp.write_bytes(buf)  # repro-lint: skip[REP004] this IS the atomic-write primitive
+
     os.replace(tmp, path)
     return path

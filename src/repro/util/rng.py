@@ -24,7 +24,7 @@ class RngStream(random.Random):
     The name is kept for debugging and for deriving further sub-streams.
     """
 
-    def __init__(self, master_seed: int, name: str):
+    def __init__(self, master_seed: int, name: str) -> None:
         self.master_seed = master_seed
         self.name = name
         super().__init__(_seed_for(master_seed, name))

@@ -29,6 +29,10 @@ import itertools
 import mmap
 import multiprocessing
 import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from multiprocessing.shared_memory import SharedMemory
 
 #: Name prefix of every named segment this module creates.  Segments
 #: appear as ``/dev/shm/<name>`` on Linux; leak tests scan for this.
@@ -81,7 +85,14 @@ class SharedSegment:
     exit does the same.
     """
 
-    def __init__(self, name: str, size: int, backend: str, shm, map_):
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        backend: str,
+        shm: "SharedMemory | None",
+        map_: mmap.mmap | None,
+    ) -> None:
         self.name = name
         self.size = size
         self.backend = backend
@@ -89,7 +100,12 @@ class SharedSegment:
         self._map = map_
 
     @classmethod
-    def create(cls, data, *, backend: str | None = None) -> "SharedSegment":
+    def create(
+        cls,
+        data: bytes | bytearray | memoryview,
+        *,
+        backend: str | None = None,
+    ) -> "SharedSegment":
         """Publish ``data`` (any bytes-like) as a new shared segment."""
         data = memoryview(data)
         size = data.nbytes
@@ -154,7 +170,7 @@ class SharedSegment:
     def __enter__(self) -> "SharedSegment":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.unlink()
 
 

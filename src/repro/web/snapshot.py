@@ -55,6 +55,7 @@ from repro.obs.metrics import global_registry
 from repro.quic.varint import decode_varint, encode_varint
 from repro.util.atomic import atomic_write_bytes
 from repro.util.framing import CodecCorruption, frame_payload, unframe_payload
+from repro.util.magics import WORLD_SNAPSHOT_MAGIC
 from repro.util.weeks import Week
 from repro.web.spec import (
     ProviderSpec,
@@ -70,11 +71,12 @@ from repro.web.world import (
     build_world,
 )
 
-#: Buffer prefix: codec name + format version.  Version 2 wraps the
-#: buffer in the shared checksummed frame (:mod:`repro.util.framing`),
-#: so a truncated or bit-flipped snapshot raises
-#: :class:`SnapshotCorruption` instead of decoding garbage tables.
-MAGIC = b"ECNWRLD2"
+#: Buffer prefix: codec name + format version (central registry:
+#: :mod:`repro.util.magics`).  Version 2 wraps the buffer in the
+#: shared checksummed frame (:mod:`repro.util.framing`), so a
+#: truncated or bit-flipped snapshot raises :class:`SnapshotCorruption`
+#: instead of decoding garbage tables.
+MAGIC = WORLD_SNAPSHOT_MAGIC
 
 # Domain flag bits (flags column).
 _D_TOPLIST = 1 << 0
@@ -488,6 +490,7 @@ def decode_world(
                 map(_FLAG_PARKED.__getitem__, flag_bytes),
                 map(_FLAG_AAAA.__getitem__, flag_bytes),
                 ranks,
+                strict=True,
             ),
         )
     )

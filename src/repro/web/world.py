@@ -459,7 +459,7 @@ def _populate_asdb(world: World, providers: list[ProviderSpec]) -> None:
         world.asorg.add(asn, org)
     for provider in providers:
         world.asorg.add(provider.asn, provider.name)
-        for sibling_asn, label in zip(provider.sibling_asns, provider.sibling_org_labels):
+        for sibling_asn, label in zip(provider.sibling_asns, provider.sibling_org_labels, strict=True):
             world.asorg.add(sibling_asn, label)
             world.asorg.merge(label, provider.name)
 

@@ -1,0 +1,24 @@
+"""REP001 fixture: the legal shapes — named streams + monotonic time."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+from repro.util.rng import RngStream, derive_rng
+
+
+def draws(master_seed: int):
+    rng = derive_rng(master_seed, "fixture")
+    child = RngStream(master_seed, "fixture/sub")
+    return rng.random(), child.randrange(10)  # stream methods are fine
+
+
+def timing():
+    start = perf_counter()  # monotonic: telemetry only, never in results
+    time.sleep(0)  # sleeping is pacing, not entropy
+    return perf_counter() - start
+
+
+def formatting(week_start: datetime) -> str:
+    # *Using* datetime objects is fine; *reading* the wall clock is not.
+    return week_start.isoformat()

@@ -1,0 +1,28 @@
+"""REP001 fixture: every banned entropy/wall-clock shape."""
+
+import os
+import random  # line 4: banned module import
+import time
+import uuid
+from datetime import datetime
+from random import choice  # line 8: banned from-import
+from time import time as wall_clock
+
+
+def draws():
+    a = random.random()  # flagged via the module import (line 4)
+    b = choice([1, 2, 3])  # flagged via the from-import (line 8)
+    return a, b
+
+
+def clocks():
+    t0 = time.time()  # line 19: banned wall clock
+    t1 = wall_clock()  # line 20: banned through the alias
+    stamp = datetime.now()  # line 21: banned wall clock
+    return t0, t1, stamp
+
+
+def entropy():
+    token = os.urandom(8)  # line 26: banned process entropy
+    ident = uuid.uuid4()  # line 27: banned (urandom underneath)
+    return token, ident

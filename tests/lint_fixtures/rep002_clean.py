@@ -1,0 +1,33 @@
+"""REP002 fixture: a pure plugin — a function of the exchange result."""
+
+from time import perf_counter
+
+from repro.plugins.base import FieldSpec, MeasurementPlugin, VariantSpec
+
+#: Immutable module constant: reading it in a hook is fine.
+_FIELD_COUNT = 1
+
+
+def _derive(result):
+    return (int(bool(result)),)
+
+
+class PurePlugin(MeasurementPlugin):
+    name = "pure"
+    variants = (VariantSpec("v", "quic"),)
+    fields = (FieldSpec("f", "int"),)
+
+    def client_config(self, variant, source_ip, ip_version):
+        return (source_ip, ip_version, variant.name)
+
+    def row(self, variant, result):
+        assert _FIELD_COUNT == 1
+        return self._shape(result)
+
+    def _shape(self, result):
+        return _derive(result)
+
+
+def unrelated_timing():
+    # Clocks outside the hook-reachable call graph don't taint the plugin.
+    return perf_counter()

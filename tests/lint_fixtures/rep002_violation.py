@@ -1,0 +1,33 @@
+"""REP002 fixture: impure plugin hooks, direct and via helpers."""
+
+from time import perf_counter
+
+from repro.plugins.base import FieldSpec, MeasurementPlugin, VariantSpec
+from repro.util.rng import RngStream
+
+_ROW_COUNT = 0
+_SEEN: dict = {}
+
+
+def _timed_helper(result):
+    return perf_counter(), result  # reached from row() -> flagged
+
+
+class ImpurePlugin(MeasurementPlugin):
+    name = "impure"
+    variants = (VariantSpec("v", "quic"),)
+    fields = (FieldSpec("f", "int"),)
+
+    def client_config(self, variant, source_ip, ip_version):
+        global _ROW_COUNT  # flagged: global statement in a hook
+        _ROW_COUNT = _ROW_COUNT + 1
+        rng = RngStream(0, "impure")  # flagged: draws in a hook
+        return (source_ip, ip_version, rng.random())
+
+    def row(self, variant, result):
+        if result in _SEEN:  # flagged: reads mutable module global
+            return (None,)
+        return self._stamp(result)
+
+    def _stamp(self, result):
+        return _timed_helper(result)  # transitively impure

@@ -1,0 +1,29 @@
+"""REP004 fixture: every codec-discipline violation shape."""
+
+from pathlib import Path
+
+MAGIC = b"FIXTUR01"  # flagged: frame magic declared outside the registry
+LEGACY_MAGIC = "FIXTUR00"  # flagged: str literals count too
+
+
+def decode_fixture(buf: bytes) -> bytes:
+    # Flagged: public decode entry point that never verifies a frame.
+    return buf[8:]
+
+
+def decode_chained(buf: bytes) -> bytes:
+    # Flagged: the helper it calls doesn't verify either.
+    return _strip(buf)
+
+
+def _strip(buf: bytes) -> bytes:
+    return buf[8:]
+
+
+def persist(path: str, buf: bytes) -> None:
+    with open(path, "wb") as handle:  # flagged: torn file on crash
+        handle.write(buf)
+
+
+def persist_pathlib(path: Path, buf: bytes) -> None:
+    path.write_bytes(buf)  # flagged: same hazard via pathlib

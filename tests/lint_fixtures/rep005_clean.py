@@ -1,0 +1,31 @@
+"""REP005 fixture: slotted and legitimately exempt classes."""
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class SlottedHotType:
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: int, b: int):
+        self.a = a
+        self.b = b
+
+
+@dataclass(frozen=True, slots=True)
+class SlottedDataclass:
+    a: int = 0
+
+
+class WireProtocol(Protocol):  # exempt: typing artefact
+    def exchange(self, packet: object) -> list: ...
+
+
+class Kind(enum.IntEnum):  # exempt: values are class-level singletons
+    QUIC = 0
+    TCP = 1
+
+
+class FixtureError(Exception):  # exempt: cold path
+    pass

@@ -1,0 +1,19 @@
+"""REP005 fixture: hot-module classes paying for a __dict__."""
+
+from dataclasses import dataclass
+
+
+class BareHotType:  # flagged: no __slots__
+    def __init__(self, a: int, b: int):
+        self.a = a
+        self.b = b
+
+
+@dataclass
+class PlainDataclass:  # flagged: @dataclass without slots=True
+    a: int = 0
+
+
+@dataclass(frozen=True)
+class FrozenDataclass:  # flagged: frozen alone doesn't drop __dict__
+    a: int = 0

@@ -1,0 +1,11 @@
+"""REP006 fixture: diagnostics that name their stream."""
+
+import sys
+
+
+def note(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+def heartbeat(stream, done: int, total: int) -> None:
+    print(f"{done}/{total}", file=stream, flush=True)

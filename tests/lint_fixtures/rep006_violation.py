@@ -1,0 +1,9 @@
+"""REP006 fixture: bare prints that would corrupt piped report output."""
+
+
+def debug_leak(row: object) -> None:
+    print(row)  # flagged: the classic leftover debug print
+
+
+def progress_leak(done: int, total: int) -> None:
+    print(f"{done}/{total}", flush=True)  # flagged: flush= is not file=

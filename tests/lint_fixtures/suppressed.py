@@ -1,0 +1,21 @@
+"""Suppression-grammar fixture (run with REP004 + REP006 selected)."""
+
+TRAILING_MAGIC = b"FIXTUR02"  # repro-lint: skip[REP004] in-sim tag, never persisted
+
+# repro-lint: skip[REP004] standalone comments cover the next code line,
+# across the rest of the comment block.
+STANDALONE_MAGIC = b"FIXTUR03"
+
+WRONG_CODE_MAGIC = b"FIXTUR04"  # repro-lint: skip[REP006] wrong code: still flagged
+
+UNSUPPRESSED_MAGIC = b"FIXTUR05"
+
+DOC = """
+A suppression inside a string is inert:
+# repro-lint: skip[REP006] not a real comment
+"""
+
+
+def multi(row: object) -> None:
+    print(row)  # repro-lint: skip[REP006, REP004] multi-code suppression
+    print(row)

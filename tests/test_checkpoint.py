@@ -48,7 +48,7 @@ def _campaign(world, **kwargs):
 
 def _assert_campaigns_equal(ref_world, reference, world, campaign):
     assert reference.weeks() == campaign.weeks()
-    for ref_run, run in zip(reference.runs, campaign.runs):
+    for ref_run, run in zip(reference.runs, campaign.runs, strict=True):
         _assert_runs_equal(ref_run, run)
     assert ref_world.clock.now == world.clock.now
 

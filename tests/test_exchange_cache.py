@@ -255,7 +255,7 @@ def _reference_schedule(engine, plan, week, vantage_id, include_tcp):
         capable = policy.reachable and policy.quic_profile is not None
         if capable:
             for pos, rank, name in zip(
-                plan_site.positions, plan_site.ranks, plan_site.names
+                plan_site.positions, plan_site.ranks, plan_site.names, strict=True
             ):
                 if rank < share:
                     events.append(

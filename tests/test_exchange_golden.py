@@ -40,7 +40,7 @@ def _build(scale):
 
 def _assert_runs_equal(expected, actual):
     assert len(expected.observations) == len(actual.observations)
-    for exp, act in zip(expected.observations, actual.observations):
+    for exp, act in zip(expected.observations, actual.observations, strict=True):
         for name in OBSERVATION_FIELDS:
             assert getattr(exp, name) == getattr(act, name), (
                 f"{exp.domain}: field {name!r} diverged"
@@ -147,7 +147,7 @@ def test_sharded_cached_matches_fresh_serial(fresh_per_site_runs, shards):
     world = _build(DEEP_SCALE)
     engine = ShardedScanEngine(world, shards=shards)
     week = world.config.reference_week
-    for reference, scan_week in zip(references, (week + (-1), week)):
+    for reference, scan_week in zip(references, (week + (-1), week), strict=True):
         run = engine.run_week(scan_week, include_tcp=True)
         _assert_runs_equal(reference, run)
     assert world_ref.clock.now == world.clock.now
@@ -159,7 +159,7 @@ def test_sharded_cached_invariant_under_worker_permutation(fresh_per_site_runs):
     world = _build(DEEP_SCALE)
     engine = ShardedScanEngine(world, shards=4, shard_order=[2, 0, 3, 1])
     week = world.config.reference_week
-    for reference, scan_week in zip(references, (week + (-1), week)):
+    for reference, scan_week in zip(references, (week + (-1), week), strict=True):
         run = engine.run_week(scan_week, include_tcp=True)
         _assert_runs_equal(reference, run)
     assert world_ref.clock.now == world.clock.now
@@ -173,7 +173,7 @@ def test_fork_pool_cached_matches_fresh_serial(fresh_per_site_runs):
     week = world.config.reference_week
     stats = ScanPhaseStats()
     with ShardedScanEngine(world, shards=3, executor="process") as engine:
-        for reference, scan_week in zip(references, (week + (-1), week)):
+        for reference, scan_week in zip(references, (week + (-1), week), strict=True):
             run = engine.run_week(
                 scan_week, include_tcp=True, phase_stats=stats
             )
@@ -192,6 +192,6 @@ def test_campaign_cached_matches_uncached_and_analysis_identical():
     cached = repro.run_campaign(_build(DEEP_SCALE))
     fresh = repro.run_campaign(_build(DEEP_SCALE), exchange_cache=False)
     assert len(cached.runs) == len(fresh.runs)
-    for reference, run in zip(fresh.runs, cached.runs):
+    for reference, run in zip(fresh.runs, cached.runs, strict=True):
         _assert_runs_equal(reference, run)
     assert longitudinal_report(fresh) == longitudinal_report(cached)

@@ -32,7 +32,7 @@ def _world_pair():
 
 def _assert_runs_equal(reference, engine_run):
     assert len(reference.observations) == len(engine_run.observations)
-    for ref_obs, eng_obs in zip(reference.observations, engine_run.observations):
+    for ref_obs, eng_obs in zip(reference.observations, engine_run.observations, strict=True):
         for name in OBSERVATION_FIELDS:
             assert getattr(ref_obs, name) == getattr(eng_obs, name), (
                 f"{ref_obs.domain}: field {name!r} diverged"

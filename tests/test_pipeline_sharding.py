@@ -32,7 +32,7 @@ def _build():
 
 def _assert_runs_equal(expected, actual):
     assert len(expected.observations) == len(actual.observations)
-    for exp, act in zip(expected.observations, actual.observations):
+    for exp, act in zip(expected.observations, actual.observations, strict=True):
         for name in OBSERVATION_FIELDS:
             assert getattr(exp, name) == getattr(act, name), (
                 f"{exp.domain}: field {name!r} diverged"
@@ -122,7 +122,7 @@ def test_campaign_with_shards_matches_unsharded_per_site():
     campaign = repro.run_campaign(
         world_b, weeks=weeks, shards=2, populations=("cno", "toplist")
     )
-    for reference, run in zip(runs, campaign.runs):
+    for reference, run in zip(runs, campaign.runs, strict=True):
         _assert_runs_equal(reference, run)
     assert world_a.clock.now == world_b.clock.now
 

@@ -346,7 +346,7 @@ def test_campaign_plugins_checkpoint_resume(tmp_path):
         resume=True,
     )
     assert reference.weeks() == resumed.weeks()
-    for ref_run, run in zip(reference.runs, resumed.runs):
+    for ref_run, run in zip(reference.runs, resumed.runs, strict=True):
         _assert_plugin_rows_equal(ref_run, run)
     assert world_ref.clock.now == world.clock.now
 

@@ -144,7 +144,7 @@ def test_warm_engine_reruns_identically(campaign_reference):
         first = run_campaign(world, weeks=_weeks(world), engine=engine)
         _assert_campaigns_equal(ref_world, reference, world, first)
         second = run_campaign(world, weeks=_weeks(world), engine=engine)
-        for ref_run, run in zip(reference.runs, second.runs):
+        for ref_run, run in zip(reference.runs, second.runs, strict=True):
             _assert_runs_equal(ref_run, run)
         assert longitudinal_report(second) == ref_report
         assert engine.supervision.snapshot() == (0, 0, 0, 0)

@@ -85,7 +85,7 @@ def test_codec_round_trips_arbitrary_entries(shard):
     decoded = decode_shard_results(buf)
     assert len(decoded) == len(shard)
     for (site, kind, result, elapsed), (d_site, d_kind, d_result, d_elapsed) in zip(
-        shard, decoded
+        shard, decoded, strict=True
     ):
         assert d_site == site
         assert d_kind == kind

@@ -41,7 +41,7 @@ def _build(scale):
 
 def _assert_runs_equal(expected, actual):
     assert len(expected.observations) == len(actual.observations)
-    for exp, act in zip(expected.observations, actual.observations):
+    for exp, act in zip(expected.observations, actual.observations, strict=True):
         for name in OBSERVATION_FIELDS:
             assert getattr(exp, name) == getattr(act, name), (
                 f"{exp.domain}: field {name!r} diverged"
@@ -194,7 +194,7 @@ def test_campaign_defaults_to_store_backend(campaign_pair):
     objects, store = campaign_pair
     assert all(isinstance(run, StoreWeeklyRun) for run in store.runs)
     assert not any(isinstance(run, StoreWeeklyRun) for run in objects.runs)
-    for reference, run in zip(objects.runs, store.runs):
+    for reference, run in zip(objects.runs, store.runs, strict=True):
         _assert_runs_equal(reference, run)
 
 

@@ -54,7 +54,7 @@ def _rehydrated(scale):
 
 def _assert_runs_equal(expected, actual):
     assert len(expected.observations) == len(actual.observations)
-    for exp, act in zip(expected.observations, actual.observations):
+    for exp, act in zip(expected.observations, actual.observations, strict=True):
         for name in OBSERVATION_FIELDS:
             assert getattr(exp, name) == getattr(act, name), (
                 f"{exp.domain}: field {name!r} diverged"
@@ -78,7 +78,7 @@ def test_snapshot_round_trip_tables_identical():
     assert rehydrated.config == fresh.config
     assert rehydrated.domains == fresh.domains
     assert len(rehydrated.sites) == len(fresh.sites)
-    for exp, act in zip(fresh.sites, rehydrated.sites):
+    for exp, act in zip(fresh.sites, rehydrated.sites, strict=True):
         for name in SITE_FIELDS:
             assert getattr(exp, name) == getattr(act, name), name
         assert act.provider.name == exp.provider.name
@@ -195,7 +195,7 @@ def test_rehydrated_campaign_and_analysis_identical(shards, executor):
                            shard_executor=executor)
         for world in (fresh, rehydrated)
     ]
-    for exp_run, act_run in zip(campaigns[0].runs, campaigns[1].runs):
+    for exp_run, act_run in zip(campaigns[0].runs, campaigns[1].runs, strict=True):
         _assert_runs_equal(exp_run, act_run)
     assert longitudinal_report(campaigns[0]) == longitudinal_report(campaigns[1])
     assert fresh.clock.now == rehydrated.clock.now
